@@ -1,0 +1,140 @@
+// PERF: google-benchmark microbenchmarks of the simulation substrate -
+// rule decision cost, engine step throughput (cells/second) per topology
+// and size, serial vs thread-pool sweeps, and the cost of trace
+// bookkeeping. These quantify the claims in DESIGN.md section 5.
+#include <benchmark/benchmark.h>
+
+#include "core/blocks.hpp"
+#include "core/builders.hpp"
+#include "core/engine.hpp"
+#include "core/frontier_engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/plurality.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dynamo;
+
+ColorField random_field(std::size_t size, Color colors, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    ColorField f(size);
+    for (auto& c : f) c = static_cast<Color>(1 + rng.below(colors));
+    return f;
+}
+
+void BM_SmpRuleDecision(benchmark::State& state) {
+    Xoshiro256 rng(1);
+    std::array<Color, grid::kDegree> nbr{};
+    Color own = 1;
+    std::uint64_t acc = 0;
+    for (auto _ : state) {
+        for (auto& c : nbr) c = static_cast<Color>(1 + (rng.next() & 3));
+        acc += smp_update(own, nbr);
+        own = static_cast<Color>(1 + (acc & 3));
+    }
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_SmpRuleDecision);
+
+void BM_EngineStep(benchmark::State& state) {
+    const auto side = static_cast<std::uint32_t>(state.range(0));
+    const auto topo = static_cast<grid::Topology>(state.range(1));
+    grid::Torus torus(topo, side, side);
+    SyncEngine engine(torus, random_field(torus.size(), 4, 42));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.step());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(torus.size()));
+}
+BENCHMARK(BM_EngineStep)
+    ->ArgsProduct({{64, 256, 1024}, {0, 1, 2}})
+    ->ArgNames({"side", "topo"});
+
+void BM_EngineStepParallel(benchmark::State& state) {
+    const auto side = static_cast<std::uint32_t>(state.range(0));
+    const auto workers = static_cast<unsigned>(state.range(1));
+    grid::Torus torus(grid::Topology::ToroidalMesh, side, side);
+    ThreadPool pool(workers);
+    SyncEngine engine(torus, random_field(torus.size(), 4, 43));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.step(&pool, 1 << 12));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(torus.size()));
+}
+BENCHMARK(BM_EngineStepParallel)
+    ->ArgsProduct({{1024}, {1, 2, 4}})
+    ->ArgNames({"side", "workers"});
+
+void BM_FullDynamoRun(benchmark::State& state) {
+    const auto side = static_cast<std::uint32_t>(state.range(0));
+    grid::Torus torus(grid::Topology::ToroidalMesh, side, side);
+    const Configuration cfg = build_theorem2_configuration(torus);
+    for (auto _ : state) {
+        SimulationOptions opts;
+        opts.detect_cycles = false;  // dynamos terminate by monochromatic
+        benchmark::DoNotOptimize(simulate(torus, cfg.field, opts).rounds);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(torus.size()));
+}
+BENCHMARK(BM_FullDynamoRun)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_FrontierDynamoRun(benchmark::State& state) {
+    // Ablation: the active-frontier engine vs the full sweep on the same
+    // dynamo runs (compare against BM_FullDynamoRun at equal sizes).
+    const auto side = static_cast<std::uint32_t>(state.range(0));
+    grid::Torus torus(grid::Topology::ToroidalMesh, side, side);
+    const Configuration cfg = build_theorem2_configuration(torus);
+    for (auto _ : state) {
+        FrontierEngine engine(torus, cfg.field);
+        benchmark::DoNotOptimize(
+            frontier_run(engine, 4 * static_cast<std::uint32_t>(torus.size())));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(torus.size()));
+}
+BENCHMARK(BM_FrontierDynamoRun)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_TraceBookkeepingOverhead(benchmark::State& state) {
+    const bool tracked = state.range(0) != 0;
+    grid::Torus torus(grid::Topology::ToroidalMesh, 128, 128);
+    const Configuration cfg = build_theorem2_configuration(torus);
+    for (auto _ : state) {
+        SimulationOptions opts;
+        opts.detect_cycles = false;
+        if (tracked) opts.target = cfg.k;
+        benchmark::DoNotOptimize(simulate(torus, cfg.field, opts).rounds);
+    }
+}
+BENCHMARK(BM_TraceBookkeepingOverhead)->Arg(0)->Arg(1)->ArgName("tracked");
+
+void BM_PluralityStepBarabasiAlbert(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Xoshiro256 rng(7);
+    const graphx::Graph g = graphx::barabasi_albert(n, 3, rng);
+    ColorField cur = random_field(n, 4, 44), next;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            graphx::plurality_step(g, cur, next, graphx::PluralityThreshold::SimpleHalf));
+        cur.swap(next);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PluralityStepBarabasiAlbert)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_BlocksExtraction(benchmark::State& state) {
+    grid::Torus torus(grid::Topology::ToroidalMesh, 256, 256);
+    const ColorField f = random_field(torus.size(), 3, 45);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dynamo::find_k_blocks(torus, f, 1).size());
+    }
+}
+BENCHMARK(BM_BlocksExtraction);
+
+} // namespace
+
+BENCHMARK_MAIN();

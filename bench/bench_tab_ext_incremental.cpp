@@ -1,0 +1,66 @@
+// Extension X2 (the ordered "+1" rule of the paper's companion works
+// [4]/[5]): the same Theorem-2 seed sets under the incremental protocol -
+// convergence vs SMP, and the cost of gradual persuasion as the color
+// scale widens.
+#include "rules/incremental.hpp"
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace dynamo;
+    using namespace dynamo::bench;
+    const CliArgs args(argc, argv);
+    const auto max_dim = static_cast<std::uint32_t>(args.get_int("max-dim", 13));
+
+    print_banner(std::cout,
+                 "X2 - ordered '+1' recoloring vs SMP on Theorem-2 mesh configurations");
+    ConsoleTable table({"m", "n", "|C|", "SMP rounds", "incremental rounds",
+                        "incremental outcome", "slowdown"});
+    for (std::uint32_t s = 5; s <= max_dim; s += 2) {
+        grid::Torus torus(grid::Topology::ToroidalMesh, s, s);
+        const Configuration cfg = build_theorem2_configuration(torus);
+        const Trace smp = run_traced(torus, cfg);
+
+        SimulationOptions opts;
+        opts.target = cfg.k;
+        const Trace inc =
+            rules::simulate_incremental(torus, cfg.field, cfg.colors_used, opts);
+
+        const char* outcome = inc.termination == Termination::Monochromatic
+                                  ? "monochromatic"
+                                  : to_string(inc.termination);
+        std::string slowdown = "-";
+        if (inc.termination == Termination::Monochromatic && smp.rounds > 0) {
+            slowdown = std::to_string(static_cast<double>(inc.rounds) /
+                                      static_cast<double>(smp.rounds))
+                           .substr(0, 4) +
+                       "x";
+        }
+        table.add_row(s, s, static_cast<int>(cfg.colors_used), smp.rounds, inc.rounds, outcome,
+                      slowdown);
+    }
+    table.print(std::cout);
+
+    print_banner(std::cout, "X2 - scale width: two-band fields under the incremental rule");
+    ConsoleTable band({"colors", "rounds to consensus", "consensus color"});
+    for (const Color colors : {Color(2), Color(4), Color(6), Color(8)}) {
+        grid::Torus torus(grid::Topology::ToroidalMesh, 8, 8);
+        ColorField f(torus.size(), 1);
+        for (std::uint32_t i = 0; i < 8; ++i) {
+            for (std::uint32_t j = 0; j < 4; ++j) f[torus.index(i, j)] = colors;
+        }
+        const Trace trace = rules::simulate_incremental(torus, f, colors);
+        band.add_row(static_cast<int>(colors),
+                     trace.termination == Termination::Monochromatic
+                         ? std::to_string(trace.rounds)
+                         : std::string(to_string(trace.termination)),
+                     trace.mono ? std::to_string(int(*trace.mono)) : "-");
+    }
+    band.print(std::cout);
+    std::cout << "measured shape: gradual persuasion BREAKS the engineered waves - the\n"
+                 "intermediate colors created en route form new local patterns that stall\n"
+                 "into fixed points or small cycles, so Theorem-2 seed sets are NOT dynamos\n"
+                 "under the ordered rule. Consistent with [4]/[5] being separate papers:\n"
+                 "the '+1' protocol needs its own dynamo constructions.\n";
+    return 0;
+}

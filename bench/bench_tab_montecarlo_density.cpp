@@ -1,0 +1,50 @@
+// Experiment M1: average-case complement to the paper's worst/best-case
+// bounds - probability that a uniformly random initial coloring with
+// k-density rho reaches the k-monochromatic configuration, per topology,
+// with conditional round counts and terminal-behaviour census.
+#include "analysis/montecarlo.hpp"
+#include "analysis/stats.hpp"
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace dynamo;
+    using namespace dynamo::bench;
+    const CliArgs args(argc, argv);
+    const auto m = static_cast<std::uint32_t>(args.get_int("m", 12));
+    const auto n = static_cast<std::uint32_t>(args.get_int("n", 12));
+    const auto trials = static_cast<std::size_t>(args.get_int("trials", 120));
+    const auto colors = static_cast<Color>(args.get_int("colors", 4));
+
+    const std::vector<double> densities{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.7, 0.85};
+
+    for (const grid::Topology topo :
+         {grid::Topology::ToroidalMesh, grid::Topology::TorusCordalis,
+          grid::Topology::TorusSerpentinus}) {
+        print_banner(std::cout, std::string("M1 - random-seeding density sweep on the ") +
+                                    to_string(topo) + " (" + std::to_string(m) + "x" +
+                                    std::to_string(n) + ", |C|=" +
+                                    std::to_string(int(colors)) + ")");
+        grid::Torus torus(topo, m, n);
+        const auto points =
+            analysis::run_density_sweep(torus, 1, densities, colors, trials, 0xd00d);
+
+        ConsoleTable table({"density", "P(k-mono)", "95% halfwidth", "P(other mono)",
+                            "cycles", "fixed pts", "mean rounds|mono",
+                            "mean final k-share"});
+        for (const auto& p : points) {
+            table.add_row(p.density, p.p_k_mono(),
+                          analysis::wilson_halfwidth(p.k_mono, p.trials),
+                          static_cast<double>(p.other_mono) / static_cast<double>(p.trials),
+                          p.cycles, p.fixed_points, p.mean_rounds_mono,
+                          p.mean_final_k_fraction);
+        }
+        table.print(std::cout);
+    }
+    std::cout << "\nshape: a sharp threshold separates k-extinction from k-consensus as the\n"
+                 "seed density crosses the plurality balance point (~1/|C| against the\n"
+                 "strongest rival); engineered dynamos beat random seeding by orders of\n"
+                 "magnitude in seed budget - the point of the paper's constructions.\n"
+              << trials << " trials per density; seed 0xd00d; reproducible.\n";
+    return 0;
+}

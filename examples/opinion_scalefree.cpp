@@ -1,0 +1,88 @@
+// opinion_scalefree - the paper's future-work scenario (Conclusions):
+// opinion dynamics under the SMP plurality protocol on a scale-free social
+// network, "in order to have a comparative analysis with respect to other
+// algorithmic models of social influence".
+//
+// Four opinions compete on a Barabasi-Albert network. We sweep the seeding
+// budget of opinion 1 under two strategies (influencers-first vs random)
+// and report consensus probability and final market share, plus the same
+// experiment on the torus (the paper's substrate) for comparison.
+//
+//   ./opinion_scalefree [--n=500] [--trials=15]
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "core/builders.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/plurality.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace dynamo;
+    const CliArgs args(argc, argv);
+    const auto n = static_cast<std::size_t>(args.get_int("n", 500));
+    const auto trials = static_cast<std::size_t>(args.get_int("trials", 15));
+
+    Xoshiro256 gen(0x50c1a1);
+    const graphx::Graph society = graphx::barabasi_albert(n, 3, gen);
+    std::cout << "society: Barabasi-Albert, " << society.num_vertices() << " agents, "
+              << society.num_edges() << " ties, max degree " << society.max_degree()
+              << " (hubs), mean " << society.mean_degree() << '\n';
+
+    std::vector<graphx::VertexId> by_degree(n);
+    std::iota(by_degree.begin(), by_degree.end(), 0u);
+    std::stable_sort(by_degree.begin(), by_degree.end(), [&](auto a, auto b) {
+        return society.degree(a) > society.degree(b);
+    });
+
+    ConsoleTable table({"budget", "strategy", "P(consensus on 1)", "mean final share",
+                        "mean rounds"});
+    Xoshiro256 rng(0xfeed);
+    for (const std::size_t budget : {n / 50, n / 20, n / 10, n / 5}) {
+        for (const bool hubs : {true, false}) {
+            std::size_t consensus = 0;
+            double share = 0.0, rounds = 0.0;
+            for (std::size_t t = 0; t < trials; ++t) {
+                ColorField opinions(n);
+                for (auto& c : opinions) c = static_cast<Color>(2 + rng.below(3));
+                if (hubs) {
+                    for (std::size_t s = 0; s < budget; ++s) opinions[by_degree[s]] = 1;
+                } else {
+                    std::vector<graphx::VertexId> ids(n);
+                    std::iota(ids.begin(), ids.end(), 0u);
+                    deterministic_shuffle(ids.begin(), ids.end(), rng);
+                    for (std::size_t s = 0; s < budget; ++s) opinions[ids[s]] = 1;
+                }
+                graphx::GraphSimulationOptions opts;
+                opts.threshold = graphx::PluralityThreshold::SimpleHalf;
+                opts.target = 1;
+                const graphx::GraphTrace trace =
+                    graphx::simulate_plurality(society, opinions, opts);
+                consensus += trace.reached_mono(1);
+                share += static_cast<double>(trace.final_target_count) /
+                         static_cast<double>(n);
+                rounds += trace.rounds;
+            }
+            table.add_row(budget, hubs ? "influencers-first" : "random",
+                          static_cast<double>(consensus) / static_cast<double>(trials),
+                          share / static_cast<double>(trials),
+                          rounds / static_cast<double>(trials));
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\ncontrast with the torus (the paper's substrate): the engineered\n"
+                 "Theorem-2 seeding reaches full consensus with only m+n-2 = ";
+    grid::Torus torus(grid::Topology::ToroidalMesh, 22, 23);
+    const Configuration cfg = build_theorem2_configuration(torus);
+    const Trace trace = simulate(torus, cfg.field);
+    std::cout << cfg.seeds.size() << " of " << torus.size() << " agents ("
+              << (trace.termination == Termination::Monochromatic ? "verified" : "FAILED")
+              << ", " << trace.rounds << " rounds) - structure substitutes for budget when\n"
+              << "the influence graph is known exactly.\n";
+    return 0;
+}

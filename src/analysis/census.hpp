@@ -1,0 +1,56 @@
+// dynamo/analysis/census.hpp
+//
+// Per-round color accounting: histograms, dominance, and Shannon entropy
+// of a coloring - the observables the example applications report while a
+// recoloring process runs.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "core/coloring.hpp"
+
+namespace dynamo::analysis {
+
+struct ColorCensus {
+    std::array<std::size_t, 256> counts{};
+    std::size_t total = 0;
+
+    std::size_t of(Color c) const noexcept { return counts[c]; }
+
+    /// Most frequent color (lowest id wins ties).
+    Color dominant() const noexcept {
+        std::size_t best = 0;
+        Color best_color = 0;
+        for (std::size_t c = 0; c < counts.size(); ++c) {
+            if (counts[c] > best) {
+                best = counts[c];
+                best_color = static_cast<Color>(c);
+            }
+        }
+        return best_color;
+    }
+
+    /// Shannon entropy (bits) of the color distribution: 0 iff
+    /// monochromatic; a convergence observable for the examples.
+    double entropy_bits() const noexcept {
+        if (total == 0) return 0.0;
+        double h = 0.0;
+        for (const std::size_t c : counts) {
+            if (c == 0) continue;
+            const double p = static_cast<double>(c) / static_cast<double>(total);
+            h -= p * std::log2(p);
+        }
+        return h;
+    }
+};
+
+inline ColorCensus census(const ColorField& field) {
+    ColorCensus out;
+    out.total = field.size();
+    for (const Color c : field) ++out.counts[c];
+    return out;
+}
+
+} // namespace dynamo::analysis

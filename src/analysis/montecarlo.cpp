@@ -1,0 +1,75 @@
+#include "analysis/montecarlo.hpp"
+
+#include "core/engine.hpp"
+
+namespace dynamo::analysis {
+
+ColorField random_coloring(std::size_t size, Color k, Color num_colors, double density,
+                           Xoshiro256& rng) {
+    DYNAMO_REQUIRE(num_colors >= 2, "need at least two colors");
+    DYNAMO_REQUIRE(k >= 1 && k <= num_colors, "target color outside palette");
+    DYNAMO_REQUIRE(density >= 0.0 && density <= 1.0, "density outside [0, 1]");
+    ColorField field(size);
+    for (std::size_t v = 0; v < size; ++v) {
+        if (rng.bernoulli(density)) {
+            field[v] = k;
+        } else {
+            // Uniform over the palette minus k.
+            Color c = static_cast<Color>(1 + rng.below(num_colors - 1));
+            if (c >= k) c = static_cast<Color>(c + 1);
+            field[v] = c;
+        }
+    }
+    return field;
+}
+
+DensityPoint run_density_point(const grid::Torus& torus, Color k, double density,
+                               Color num_colors, std::size_t trials, Xoshiro256& rng) {
+    DensityPoint point;
+    point.density = density;
+    point.trials = trials;
+
+    double rounds_sum = 0.0;
+    double k_fraction_sum = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const ColorField initial = random_coloring(torus.size(), k, num_colors, density, rng);
+        SimulationOptions opts;
+        opts.target = k;
+        const Trace trace = simulate(torus, initial, opts);
+
+        switch (trace.termination) {
+            case Termination::Monochromatic:
+                if (trace.mono && *trace.mono == k) {
+                    ++point.k_mono;
+                    rounds_sum += trace.rounds;
+                } else {
+                    ++point.other_mono;
+                }
+                break;
+            case Termination::Cycle: ++point.cycles; break;
+            case Termination::FixedPoint: ++point.fixed_points; break;
+            case Termination::RoundLimit: break;
+        }
+        k_fraction_sum += static_cast<double>(count_color(trace.final_colors, k)) /
+                          static_cast<double>(torus.size());
+    }
+    if (point.k_mono > 0) rounds_sum /= static_cast<double>(point.k_mono);
+    point.mean_rounds_mono = rounds_sum;
+    point.mean_final_k_fraction = k_fraction_sum / static_cast<double>(trials ? trials : 1);
+    return point;
+}
+
+std::vector<DensityPoint> run_density_sweep(const grid::Torus& torus, Color k,
+                                            const std::vector<double>& densities,
+                                            Color num_colors, std::size_t trials,
+                                            std::uint64_t seed) {
+    std::vector<DensityPoint> points;
+    points.reserve(densities.size());
+    Xoshiro256 rng(seed);
+    for (const double d : densities) {
+        points.push_back(run_density_point(torus, k, d, num_colors, trials, rng));
+    }
+    return points;
+}
+
+} // namespace dynamo::analysis

@@ -1,0 +1,56 @@
+// dynamo/analysis/montecarlo.hpp
+//
+// Monte-Carlo experiment harness: the paper proves worst/best-case bounds
+// for engineered seed sets; the M1 experiment complements them with the
+// average-case picture - the probability that a *random* initial coloring
+// with k-density rho reaches the k-monochromatic configuration, per
+// topology, plus conditional round counts. All draws come from a seeded
+// Xoshiro256 stream, so every table cell is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coloring.hpp"
+#include "grid/torus.hpp"
+#include "util/rng.hpp"
+
+namespace dynamo::analysis {
+
+struct DensityPoint {
+    double density = 0.0;
+    std::size_t trials = 0;
+    std::size_t k_mono = 0;        ///< trials ending k-monochromatic
+    std::size_t other_mono = 0;    ///< trials ending monochromatic in another color
+    std::size_t cycles = 0;        ///< trials ending in a limit cycle
+    std::size_t fixed_points = 0;  ///< non-monochromatic fixed points
+    double mean_rounds_mono = 0.0; ///< mean rounds over k-mono trials
+    double mean_final_k_fraction = 0.0;  ///< mean |S_k|/|V| at termination
+
+    double p_k_mono() const noexcept {
+        return trials ? static_cast<double>(k_mono) / static_cast<double>(trials) : 0.0;
+    }
+};
+
+struct DensitySweepOptions {
+    Color num_colors = 4;
+    std::size_t trials = 200;
+    std::uint64_t seed = 0x4dc;
+};
+
+/// Random coloring: each vertex takes color k with probability `density`,
+/// otherwise a uniform color from the remaining palette.
+ColorField random_coloring(std::size_t size, Color k, Color num_colors, double density,
+                           Xoshiro256& rng);
+
+/// One sweep point: `trials` random colorings at the given density.
+DensityPoint run_density_point(const grid::Torus& torus, Color k, double density,
+                               Color num_colors, std::size_t trials, Xoshiro256& rng);
+
+/// Full sweep over a density grid.
+std::vector<DensityPoint> run_density_sweep(const grid::Torus& torus, Color k,
+                                            const std::vector<double>& densities,
+                                            Color num_colors, std::size_t trials,
+                                            std::uint64_t seed);
+
+} // namespace dynamo::analysis

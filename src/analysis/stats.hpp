@@ -1,0 +1,66 @@
+// dynamo/analysis/stats.hpp
+//
+// Small descriptive-statistics helpers for the experiment harnesses
+// (means and spreads over Monte-Carlo trials, wavefront profiles, ...).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dynamo::analysis {
+
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;  ///< sample standard deviation (n-1)
+    double min = 0.0;
+    double max = 0.0;
+};
+
+inline Summary summarize(const std::vector<double>& xs) {
+    Summary s;
+    s.count = xs.size();
+    if (xs.empty()) return s;
+    double sum = 0.0;
+    s.min = xs.front();
+    s.max = xs.front();
+    for (const double x : xs) {
+        sum += x;
+        s.min = std::min(s.min, x);
+        s.max = std::max(s.max, x);
+    }
+    s.mean = sum / static_cast<double>(xs.size());
+    if (xs.size() > 1) {
+        double ss = 0.0;
+        for (const double x : xs) ss += (x - s.mean) * (x - s.mean);
+        s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+    }
+    return s;
+}
+
+/// q-quantile (0 <= q <= 1) by linear interpolation on a sorted copy.
+inline double quantile(std::vector<double> xs, double q) {
+    DYNAMO_REQUIRE(!xs.empty(), "quantile of empty sample");
+    DYNAMO_REQUIRE(q >= 0.0 && q <= 1.0, "quantile order outside [0, 1]");
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+/// Wilson score interval half-width for a Bernoulli estimate (95%).
+inline double wilson_halfwidth(std::size_t successes, std::size_t trials) {
+    if (trials == 0) return 0.0;
+    const double z = 1.959963985;
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    return z * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n)) / (1.0 + z * z / n);
+}
+
+} // namespace dynamo::analysis

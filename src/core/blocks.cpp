@@ -1,0 +1,137 @@
+#include "core/blocks.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dynamo {
+
+namespace {
+
+/// Components of the d-core of the member set (member[v] true), where the
+/// core iteratively discards members with fewer than min_degree member
+/// neighbor slots.
+std::vector<std::vector<grid::VertexId>> core_components(const grid::Torus& torus,
+                                                         std::vector<char> member,
+                                                         int min_degree) {
+    const std::size_t n = torus.size();
+    std::vector<int> deg(n, 0);
+    std::queue<grid::VertexId> prune;
+
+    for (grid::VertexId v = 0; v < n; ++v) {
+        if (!member[v]) continue;
+        int d = 0;
+        for (const grid::VertexId u : torus.neighbors(v)) d += member[u] ? 1 : 0;
+        deg[v] = d;
+        if (d < min_degree) prune.push(v);
+    }
+    while (!prune.empty()) {
+        const grid::VertexId v = prune.front();
+        prune.pop();
+        if (!member[v]) continue;
+        member[v] = 0;
+        for (const grid::VertexId u : torus.neighbors(v)) {
+            if (member[u] && deg[u]-- == min_degree) prune.push(u);
+        }
+    }
+
+    std::vector<std::vector<grid::VertexId>> components;
+    std::vector<char> visited(n, 0);
+    for (grid::VertexId s = 0; s < n; ++s) {
+        if (!member[s] || visited[s]) continue;
+        std::vector<grid::VertexId> comp;
+        std::queue<grid::VertexId> bfs;
+        bfs.push(s);
+        visited[s] = 1;
+        while (!bfs.empty()) {
+            const grid::VertexId v = bfs.front();
+            bfs.pop();
+            comp.push_back(v);
+            for (const grid::VertexId u : torus.neighbors(v)) {
+                if (member[u] && !visited[u]) {
+                    visited[u] = 1;
+                    bfs.push(u);
+                }
+            }
+        }
+        std::sort(comp.begin(), comp.end());
+        components.push_back(std::move(comp));
+    }
+    return components;
+}
+
+} // namespace
+
+std::vector<std::vector<grid::VertexId>> find_k_blocks(const grid::Torus& torus,
+                                                       const ColorField& field, Color k) {
+    require_complete(torus, field);
+    std::vector<char> member(torus.size());
+    for (grid::VertexId v = 0; v < torus.size(); ++v) member[v] = field[v] == k;
+    return core_components(torus, std::move(member), 2);
+}
+
+std::vector<std::vector<grid::VertexId>> find_non_k_blocks(const grid::Torus& torus,
+                                                           const ColorField& field, Color k) {
+    require_complete(torus, field);
+    std::vector<char> member(torus.size());
+    for (grid::VertexId v = 0; v < torus.size(); ++v) member[v] = field[v] != k;
+    return core_components(torus, std::move(member), 3);
+}
+
+bool has_k_block(const grid::Torus& torus, const ColorField& field, Color k) {
+    return !find_k_blocks(torus, field, k).empty();
+}
+
+bool has_non_k_block(const grid::Torus& torus, const ColorField& field, Color k) {
+    return !find_non_k_blocks(torus, field, k).empty();
+}
+
+bool is_union_of_k_blocks(const grid::Torus& torus, const ColorField& field, Color k) {
+    const auto blocks = find_k_blocks(torus, field, k);
+    std::size_t in_blocks = 0;
+    for (const auto& b : blocks) in_blocks += b.size();
+    return in_blocks == count_color(field, k);
+}
+
+BoundingBox bounding_box(const grid::Torus& torus,
+                         const std::vector<grid::VertexId>& vertices) {
+    if (vertices.empty()) return {0, 0};
+
+    // Minimal cyclic covering interval of an occupied index set equals the
+    // modulus minus the largest run of consecutive unoccupied indices.
+    const auto min_interval = [](const std::vector<char>& occupied) -> std::uint32_t {
+        const auto mod = static_cast<std::uint32_t>(occupied.size());
+        std::uint32_t best_gap = 0;
+        // Longest empty run, cyclically: scan two laps.
+        std::uint32_t run = 0;
+        bool any_occupied = false;
+        for (std::uint32_t pass = 0; pass < 2 * mod; ++pass) {
+            if (occupied[pass % mod]) {
+                any_occupied = true;
+                run = 0;
+            } else {
+                run = std::min(run + 1, mod);
+                best_gap = std::max(best_gap, run);
+            }
+        }
+        if (!any_occupied) return 0;
+        return mod - std::min(best_gap, mod);
+    };
+
+    std::vector<char> row_occ(torus.rows(), 0), col_occ(torus.cols(), 0);
+    for (const grid::VertexId v : vertices) {
+        const auto c = torus.coord(v);
+        row_occ[c.i] = 1;
+        col_occ[c.j] = 1;
+    }
+    return {min_interval(row_occ), min_interval(col_occ)};
+}
+
+BoundingBox color_bounding_box(const grid::Torus& torus, const ColorField& field, Color k) {
+    std::vector<grid::VertexId> verts;
+    for (grid::VertexId v = 0; v < torus.size(); ++v) {
+        if (field[v] == k) verts.push_back(v);
+    }
+    return bounding_box(torus, verts);
+}
+
+} // namespace dynamo

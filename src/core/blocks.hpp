@@ -1,0 +1,64 @@
+// dynamo/core/blocks.hpp
+//
+// k-blocks and non-k-blocks (paper Definitions 4 and 5) - the invariant
+// structures that drive every lower bound in the paper:
+//
+//   Definition 4: a k-block B_k is a connected subset of T of k-colored
+//   vertices, each with at least two neighbors inside B_k. Such vertices
+//   can never recolor (the SMP rule needs a strict plurality against the
+//   pair of same-colored neighbors, which cannot exist).
+//
+//   Definition 5: a non-k-block NB_k is a connected subset of vertices
+//   colored from C \ {k}, each with at least three neighbors inside NB_k.
+//   Such vertices have at most one k neighbor, so they can never adopt k
+//   (though they may recolor among non-k colors).
+//
+// We compute the *maximal* such structures as degree-cores of the relevant
+// vertex class: the 2-core for k-blocks, the 3-core for non-k-blocks; a
+// block per the paper's definition exists iff the core is non-empty, and
+// every block is contained in a core component.
+//
+// Degenerate sizes (m = 2 or n = 2) make the neighbor list a multiset; we
+// count neighbor *slots*, consistent with the rule's |N(x)| = 4 semantics.
+// Both properties above are verified as simulation invariants in
+// tests/test_blocks.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coloring.hpp"
+#include "grid/torus.hpp"
+
+namespace dynamo {
+
+/// Maximal k-blocks: connected components of the 2-core of the k-colored
+/// class. Each inner vector lists member vertex ids (sorted).
+std::vector<std::vector<grid::VertexId>> find_k_blocks(const grid::Torus& torus,
+                                                       const ColorField& field, Color k);
+
+/// Maximal non-k-blocks: connected components of the 3-core of the
+/// non-k-colored class (paper Definition 5; defined for |C| > 2).
+std::vector<std::vector<grid::VertexId>> find_non_k_blocks(const grid::Torus& torus,
+                                                           const ColorField& field, Color k);
+
+bool has_k_block(const grid::Torus& torus, const ColorField& field, Color k);
+bool has_non_k_block(const grid::Torus& torus, const ColorField& field, Color k);
+
+/// Lemma 2 necessary condition: S_k is a union of k-blocks, i.e. every
+/// k-colored vertex survives into the 2-core.
+bool is_union_of_k_blocks(const grid::Torus& torus, const ColorField& field, Color k);
+
+/// Size (rows x cols) of the smallest enclosing rectangle of a vertex set,
+/// minimized over cyclic shifts (the torus has no distinguished origin).
+/// This is the (m_F, n_F) of the paper's Lemma 1 / Theorem 1(i).
+struct BoundingBox {
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+};
+BoundingBox bounding_box(const grid::Torus& torus, const std::vector<grid::VertexId>& vertices);
+
+/// Bounding box of all k-colored vertices.
+BoundingBox color_bounding_box(const grid::Torus& torus, const ColorField& field, Color k);
+
+} // namespace dynamo

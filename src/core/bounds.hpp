@@ -1,0 +1,121 @@
+// dynamo/core/bounds.hpp
+//
+// Closed-form bounds and round-count formulas from the paper, plus the
+// measured closed forms our reproduction derives where the paper's
+// expressions deviate from simulation (see DESIGN.md section 4 and
+// EXPERIMENTS.md). Keeping both lets every bench print
+// paper-vs-derived-vs-measured side by side.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "grid/torus.hpp"
+
+namespace dynamo {
+
+// ---------------------------------------------------------------------------
+// Dynamo-size lower bounds (Theorems 1, 3, 5)
+// ---------------------------------------------------------------------------
+
+/// Theorem 1(ii): a monotone dynamo on an m x n toroidal mesh has
+/// |S_k| >= m + n - 2.
+constexpr std::uint32_t mesh_size_lower_bound(std::uint32_t m, std::uint32_t n) noexcept {
+    return m + n - 2;
+}
+
+/// Theorem 3: a monotone dynamo on an m x n torus cordalis has |S_k| >= n + 1.
+constexpr std::uint32_t cordalis_size_lower_bound(std::uint32_t /*m*/, std::uint32_t n) noexcept {
+    return n + 1;
+}
+
+/// Theorem 5: a monotone dynamo on an m x n torus serpentinus has
+/// |S_k| >= N + 1 with N = min(m, n).
+constexpr std::uint32_t serpentinus_size_lower_bound(std::uint32_t m, std::uint32_t n) noexcept {
+    return std::min(m, n) + 1;
+}
+
+constexpr std::uint32_t size_lower_bound(grid::Topology t, std::uint32_t m,
+                                         std::uint32_t n) noexcept {
+    switch (t) {
+        case grid::Topology::ToroidalMesh: return mesh_size_lower_bound(m, n);
+        case grid::Topology::TorusCordalis: return cordalis_size_lower_bound(m, n);
+        case grid::Topology::TorusSerpentinus: return serpentinus_size_lower_bound(m, n);
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Round-count formulas (Theorems 7, 8)
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t ceil_div(std::uint32_t a, std::uint32_t b) noexcept {
+    return (a + b - 1) / b;
+}
+
+/// Theorem 7, as printed in the paper:
+///     2 * max(ceil((n-1)/2) - 1, ceil((m-1)/2) - 1) + 1.
+/// Matches simulation exactly for square meshes seeded with a full
+/// row + column cross (the Figure 5 configuration).
+constexpr std::uint32_t mesh_rounds_paper(std::uint32_t m, std::uint32_t n) noexcept {
+    const std::uint32_t a = ceil_div(m - 1, 2) - 1;
+    const std::uint32_t b = ceil_div(n - 1, 2) - 1;
+    return 2 * std::max(a, b) + 1;
+}
+
+/// Measured closed form for the full-cross (row + column, size m+n-1)
+/// configuration on any mesh: the four corner waves are additive, so the
+/// last cell recolors at ceil((m-1)/2) + ceil((n-1)/2) - 1. Coincides with
+/// mesh_rounds_paper when m == n. Verified by sweep in tests.
+constexpr std::uint32_t mesh_rounds_cross_derived(std::uint32_t m, std::uint32_t n) noexcept {
+    return ceil_div(m - 1, 2) + ceil_div(n - 1, 2) - 1;
+}
+
+/// Theorem 8, as printed in the paper, for the torus cordalis seeded per
+/// Theorem 4 (and serpentinus per Theorem 6 with N = n):
+///     m odd : (floor((m-1)/2) - 1) * n + ceil(n/2)
+///     m even: (floor((m-1)/2) - 1) * n + 1
+constexpr std::uint32_t spiral_rounds_paper(std::uint32_t m, std::uint32_t n) noexcept {
+    const std::uint32_t pairs = (m - 1) / 2;
+    if (m % 2 == 1) return (pairs - 1) * n + ceil_div(n, 2);
+    return (pairs - 1) * n + 1;
+}
+
+/// Measured closed form for the same configurations (reproduction finding):
+/// simulation matches the paper exactly for every odd m, but for even m the
+/// paper's branch undercounts by n - 1; the measured law is (m/2 - 1) * n
+/// (e.g. 4 x n converges in n rounds, not 1). Verified by sweeps in tests.
+constexpr std::uint32_t spiral_rounds_derived(std::uint32_t m, std::uint32_t n) noexcept {
+    if (m % 2 == 1) return spiral_rounds_paper(m, n);
+    return (m / 2 - 1) * n;
+}
+
+/// Predicted adoption round for cell (i, j) of a mesh seeded with the full
+/// cross at row r0 / column c0 (Figure 5's matrix): the four corner waves
+/// combine additively,
+///     t(i,j) = min(di, m-di) + min(dj, n-dj) - 1,  di=(i-r0) mod m, ...
+/// and t = 0 on the cross itself.
+constexpr std::uint32_t mesh_cross_cell_time(std::uint32_t m, std::uint32_t n, std::uint32_t r0,
+                                             std::uint32_t c0, std::uint32_t i,
+                                             std::uint32_t j) noexcept {
+    const std::uint32_t di = (i + m - r0) % m;
+    const std::uint32_t dj = (j + n - c0) % n;
+    if (di == 0 || dj == 0) return 0;
+    return std::min(di, m - di) + std::min(dj, n - dj) - 1;
+}
+
+// ---------------------------------------------------------------------------
+// Construction sizes (Theorems 2, 4, 6)
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t mesh_construction_size(std::uint32_t m, std::uint32_t n) noexcept {
+    return m + n - 2;  // Theorem 2: column + row with one node less
+}
+constexpr std::uint32_t cordalis_construction_size(std::uint32_t /*m*/, std::uint32_t n) noexcept {
+    return n + 1;  // Theorem 4: full row + one vertex in the next row
+}
+constexpr std::uint32_t serpentinus_construction_size(std::uint32_t m, std::uint32_t n) noexcept {
+    return std::min(m, n) + 1;  // Theorem 6
+}
+
+} // namespace dynamo

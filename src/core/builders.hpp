@@ -1,0 +1,99 @@
+// dynamo/core/builders.hpp
+//
+// Constructive initial configurations from the paper:
+//
+//   * Theorem 2  - toroidal mesh minimum monotone dynamo: a k-colored
+//                  column plus a k-colored row with one node less
+//                  (|S_k| = m + n - 2), with the non-k colors arranged so
+//                  every color class is a forest and every non-k vertex's
+//                  foreign-colored neighbors are pairwise distinct.
+//   * Figure 5 / Theorem 7 - the full row + column cross (|S_k| = m+n-1)
+//                  whose wave the paper's round formula describes.
+//   * Theorem 4  - torus cordalis: a full row plus one vertex in the next
+//                  row, column 0 (|S_k| = n + 1).
+//   * Theorem 6  - torus serpentinus: row orientation for N = n, column
+//                  orientation (full column + one vertex in the next
+//                  column, row 0) for N = m.
+//   * Figures 3/4 - non-dynamo counterexamples: a hostile foreign block,
+//                  and a globally stalled configuration where no
+//                  recoloring can ever arise.
+//
+// Color-pattern notes (reproduction findings, see DESIGN.md section 4):
+// for the mesh we prove 4 total colors always suffice by striping rows
+// with the period-3 sequence and choosing the pendant vertex's color by
+// m mod 3 (three variants, all validated in tests). For the cordalis /
+// serpentinus spiral constructions our closed form partitions the spiral
+// into segments of length n-1 (resp. m-1) colored with period 4, which
+// needs 4 non-k colors (|C| = 5); whether |C| = 4 is achievable there is
+// explored separately with the backtracking solver (core/solver.hpp).
+#pragma once
+
+#include <vector>
+
+#include "core/coloring.hpp"
+#include "grid/torus.hpp"
+
+namespace dynamo {
+
+/// A fully specified initial configuration: the torus it targets is given
+/// by (topology, m, n) at the call site; `seeds` lists the k-colored
+/// vertices, `field` is the complete initial coloring.
+struct Configuration {
+    ColorField field;
+    std::vector<grid::VertexId> seeds;
+    Color k = 1;
+    Color colors_used = 0;  ///< |C| actually present in `field`
+};
+
+// --- seed sets ------------------------------------------------------------
+
+/// Theorem 2 seeds: column 0 plus row 0 minus (0, n-1). |S_k| = m + n - 2.
+std::vector<grid::VertexId> theorem2_seeds(const grid::Torus& torus);
+
+/// Figure 5 / Theorem 7 seeds: full column 0 plus full row 0. |S_k| = m+n-1.
+std::vector<grid::VertexId> full_cross_seeds(const grid::Torus& torus);
+
+/// Theorem 4 seeds: full row 0 plus vertex (1, 0). |S_k| = n + 1.
+std::vector<grid::VertexId> theorem4_seeds(const grid::Torus& torus);
+
+/// Theorem 6 seeds: row orientation (== theorem4_seeds) when n <= m,
+/// else full column 0 plus vertex (0, 1). |S_k| = min(m, n) + 1.
+std::vector<grid::VertexId> theorem6_seeds(const grid::Torus& torus);
+
+// --- complete configurations ----------------------------------------------
+
+/// Theorem 2 configuration on a toroidal mesh; uses exactly 4 colors for
+/// every m, n >= 2 (k plus the period-3 row stripes with a pendant variant
+/// chosen by m mod 3).
+Configuration build_theorem2_configuration(const grid::Torus& torus, Color k = 1);
+
+/// Full-cross configuration (Figure 5 / Theorem 7) on a toroidal mesh;
+/// 4 colors total.
+Configuration build_full_cross_configuration(const grid::Torus& torus, Color k = 1);
+
+/// Theorem 4 configuration on a torus cordalis (also valid on a torus
+/// serpentinus, where it realizes Theorem 6 with N = n); 5 colors total.
+Configuration build_theorem4_configuration(const grid::Torus& torus, Color k = 1);
+
+/// Theorem 6 configuration on a torus serpentinus: delegates to the row
+/// orientation when n <= m, otherwise builds the column-spiral variant.
+Configuration build_theorem6_configuration(const grid::Torus& torus, Color k = 1);
+
+/// Dispatch on topology: the paper's minimum-size dynamo for the torus.
+Configuration build_minimum_dynamo(const grid::Torus& torus, Color k = 1);
+
+// --- counterexamples (Figures 3 and 4) -------------------------------------
+
+/// Figure 3 flavor: Theorem-2 seeds, but the foreign colors contain a 2x2
+/// block of one color (violating the distinct-neighbors requirement), so
+/// the k-wave stalls against an invariant foreign block. Requires
+/// m, n >= 6 to fit the block away from the cross.
+Configuration build_fig3_blocked_configuration(const grid::Torus& torus, Color k = 1);
+
+/// Figure 4 flavor: a k-colored column plus vertically monochromatic
+/// foreign column stripes. Every vertex sees either a 2+2 tie or a
+/// plurality of its own color, so *no recoloring can arise*: the initial
+/// state is a global fixed point and S_k is not a dynamo.
+Configuration build_fig4_stalled_configuration(const grid::Torus& torus, Color k = 1);
+
+} // namespace dynamo

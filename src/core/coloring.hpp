@@ -1,0 +1,76 @@
+// dynamo/core/coloring.hpp
+//
+// Colors and color fields. The paper's color set is C = {1, ..., k}; we
+// represent colors as 1-based std::uint8_t values (up to 255 colors, far
+// beyond anything the paper needs) and reserve 0 as the "unset" sentinel
+// used by the condition solver while it searches partial assignments.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "grid/torus.hpp"
+#include "util/assert.hpp"
+
+namespace dynamo {
+
+using Color = std::uint8_t;
+
+/// Sentinel: not a legal color; used only for partial assignments.
+inline constexpr Color kUnset = 0;
+
+/// Dense per-vertex color assignment, indexed by grid::VertexId.
+using ColorField = std::vector<Color>;
+
+/// Returns a field of `size` vertices all holding `fill`.
+inline ColorField make_field(std::size_t size, Color fill) {
+    return ColorField(size, fill);
+}
+
+/// True iff every vertex holds exactly color k.
+inline bool is_monochromatic(const ColorField& field, Color k) {
+    return std::all_of(field.begin(), field.end(), [k](Color c) { return c == k; });
+}
+
+/// The single color all vertices share, if any.
+inline std::optional<Color> monochromatic_color(const ColorField& field) {
+    DYNAMO_REQUIRE(!field.empty(), "empty color field");
+    const Color c = field.front();
+    return is_monochromatic(field, c) ? std::optional<Color>(c) : std::nullopt;
+}
+
+/// Number of vertices holding color k (|S_k| in the paper's notation).
+inline std::size_t count_color(const ColorField& field, Color k) {
+    return static_cast<std::size_t>(std::count(field.begin(), field.end(), k));
+}
+
+/// Largest color value present (the field's |C| upper bound); 0 if empty.
+inline Color max_color(const ColorField& field) {
+    Color m = 0;
+    for (const Color c : field) m = std::max(m, c);
+    return m;
+}
+
+/// Number of distinct colors present in the field.
+inline std::size_t distinct_colors(const ColorField& field) {
+    bool seen[256] = {};
+    std::size_t n = 0;
+    for (const Color c : field) {
+        if (!seen[c]) {
+            seen[c] = true;
+            ++n;
+        }
+    }
+    return n;
+}
+
+/// Validates that a field matches a torus and contains no kUnset entries.
+inline void require_complete(const grid::Torus& torus, const ColorField& field) {
+    DYNAMO_REQUIRE(field.size() == torus.size(), "color field size != torus size");
+    DYNAMO_REQUIRE(std::find(field.begin(), field.end(), kUnset) == field.end(),
+                   "color field contains unset vertices");
+}
+
+} // namespace dynamo

@@ -1,0 +1,123 @@
+#include "core/conditions.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace dynamo {
+
+namespace {
+
+/// Union-find over vertex ids (union by size, path halving).
+class Dsu {
+  public:
+    explicit Dsu(std::size_t n) : parent_(n), size_(n, 1) {
+        std::iota(parent_.begin(), parent_.end(), 0u);
+    }
+
+    std::uint32_t find(std::uint32_t x) noexcept {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    /// Returns false if x and y were already connected (i.e. the edge
+    /// closes a cycle).
+    bool unite(std::uint32_t x, std::uint32_t y) noexcept {
+        std::uint32_t rx = find(x), ry = find(y);
+        if (rx == ry) return false;
+        if (size_[rx] < size_[ry]) std::swap(rx, ry);
+        parent_[ry] = rx;
+        size_[rx] += size_[ry];
+        return true;
+    }
+
+  private:
+    std::vector<std::uint32_t> parent_;
+    std::vector<std::uint32_t> size_;
+};
+
+std::string coord_str(const grid::Torus& torus, grid::VertexId v) {
+    const auto c = torus.coord(v);
+    std::ostringstream os;
+    os << '(' << c.i << ',' << c.j << ')';
+    return os.str();
+}
+
+} // namespace
+
+bool color_class_is_forest(const grid::Torus& torus, const ColorField& field, Color k_prime) {
+    require_complete(torus, field);
+    Dsu dsu(torus.size());
+    for (grid::VertexId v = 0; v < torus.size(); ++v) {
+        if (field[v] != k_prime) continue;
+        for (const grid::VertexId u : torus.neighbors(v)) {
+            // Each undirected edge is processed once (v < u). A repeated slot
+            // (degenerate m=2 / n=2 tori produce parallel edges) is processed
+            // on its second occurrence too, correctly flagging the 2-cycle.
+            if (u <= v || field[u] != k_prime) continue;
+            if (!dsu.unite(v, u)) return false;
+        }
+    }
+    return true;
+}
+
+ConditionReport check_theorem_conditions(const grid::Torus& torus, const ColorField& field,
+                                         Color k) {
+    require_complete(torus, field);
+    ConditionReport report;
+
+    // Condition (1): every non-seed color class induces a forest.
+    // One DSU pass suffices: only same-color edges are united, so distinct
+    // classes never interact.
+    {
+        Dsu dsu(torus.size());
+        for (grid::VertexId v = 0; v < torus.size() && report.forest_ok; ++v) {
+            if (field[v] == k) continue;
+            for (const grid::VertexId u : torus.neighbors(v)) {
+                if (u <= v || field[u] != field[v]) continue;
+                if (!dsu.unite(v, u)) {
+                    report.forest_ok = false;
+                    report.violation = "color class " + std::to_string(int(field[v])) +
+                                       " contains a cycle through " + coord_str(torus, v);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Condition (2): for every non-k vertex x, neighbors outside
+    // V_{r(x)} u V_k have pairwise different colors.
+    for (grid::VertexId v = 0; v < torus.size(); ++v) {
+        if (field[v] == k) continue;
+        const Color own = field[v];
+        Color seen[grid::kDegree];
+        std::size_t count = 0;
+        bool bad = false;
+        for (const grid::VertexId u : torus.neighbors(v)) {
+            const Color cu = field[u];
+            if (cu == own || cu == k) continue;
+            for (std::size_t s = 0; s < count; ++s) {
+                if (seen[s] == cu) {
+                    bad = true;
+                    break;
+                }
+            }
+            if (bad) break;
+            seen[count++] = cu;
+        }
+        if (bad) {
+            report.distinct_ok = false;
+            if (report.violation.empty()) {
+                report.violation = "vertex " + coord_str(torus, v) +
+                                   " has two neighbors of the same foreign color";
+            }
+            break;
+        }
+    }
+
+    return report;
+}
+
+} // namespace dynamo

@@ -1,0 +1,41 @@
+// dynamo/core/conditions.hpp
+//
+// Validator for the sufficient conditions shared by Theorems 2, 4 and 6:
+// given a seed color k, for every other color k' present,
+//
+//   (1) S_k' (the k'-colored vertex class) induces a forest, and
+//   (2) for every vertex x in V_k', the neighbors of x outside
+//       V_k' (union) V_k hold pairwise different colors.
+//
+// Together these guarantee no i-block (i != k) can ever arise, so the
+// k-wave sweeps the torus and the seed set is a monotone dynamo.
+//
+// The validator reports the first violation with coordinates and reason,
+// which the tests and the Figure 3/4 benches use to *explain* why a
+// configuration fails, not just that it fails.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/coloring.hpp"
+#include "grid/torus.hpp"
+
+namespace dynamo {
+
+struct ConditionReport {
+    bool forest_ok = true;       ///< condition (1) for all k' != k
+    bool distinct_ok = true;     ///< condition (2) for all x not k-colored
+    std::string violation;       ///< human-readable first failure, empty if ok
+
+    bool ok() const noexcept { return forest_ok && distinct_ok; }
+};
+
+/// Check the Theorem 2/4/6 conditions of `field` w.r.t. seed color k.
+ConditionReport check_theorem_conditions(const grid::Torus& torus, const ColorField& field,
+                                         Color k);
+
+/// Condition (1) alone for one specific color class.
+bool color_class_is_forest(const grid::Torus& torus, const ColorField& field, Color k_prime);
+
+} // namespace dynamo

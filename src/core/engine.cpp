@@ -1,0 +1,15 @@
+#include "core/engine.hpp"
+
+namespace dynamo {
+
+const char* to_string(Termination t) noexcept {
+    switch (t) {
+        case Termination::Monochromatic: return "monochromatic";
+        case Termination::FixedPoint: return "fixed-point";
+        case Termination::Cycle: return "cycle";
+        case Termination::RoundLimit: return "round-limit";
+    }
+    return "unknown";
+}
+
+} // namespace dynamo

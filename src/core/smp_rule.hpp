@@ -1,0 +1,100 @@
+// dynamo/core/smp_rule.hpp
+//
+// The SMP-Protocol local rule (paper Algorithm 1), "simple majority with
+// persuadable entities".
+//
+// Paper statement: with N(x) = {a, b, c, d}, recolor x to r(a) iff
+//     (r(a) = r(b)  AND  r(c) != r(d))   OR   (r(a) = r(b) = r(c) = r(d))
+// for some labeling of the neighborhood, with the explicit clarification
+// (Section I) that a 2+2 split does NOT recolor - unlike the Prefer-Black
+// convention of Flocchini et al. [15].
+//
+// Normalized semantics (derived by enumerating neighbor multisets; verified
+// against the paper's Figure 6 trace in tests/test_figures.cpp):
+//
+//   multiset of the 4 neighbor colors     action
+//   ---------------------------------     -----------------------------
+//   (4)        all same                   adopt that color
+//   (3,1)      three same                 adopt the majority color
+//   (2,1,1)    unique pair                adopt the pair's color
+//   (2,2)      two pairs                  keep current color (tie)
+//   (1,1,1,1)  all distinct               keep current color
+//
+// i.e. "adopt the unique plurality color of multiplicity >= 2, else keep".
+// Note the vertex's own color never gates adoption: the process is
+// non-monotone in general (monotonicity is a *property* checked per run,
+// paper Definition 3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "core/coloring.hpp"
+#include "grid/torus.hpp"
+
+namespace dynamo {
+
+/// Classification of a neighborhood under the SMP rule, for diagnostics,
+/// renders and tests.
+enum class SmpOutcome : std::uint8_t {
+    Adopt,        ///< unique plurality of multiplicity >= 2: recolor
+    TiePairs,     ///< 2+2 split: keep (the paper's resolved ambiguity)
+    NoPlurality,  ///< all four distinct: keep
+};
+
+struct SmpDecision {
+    SmpOutcome outcome;
+    Color color;  ///< adopted color when outcome == Adopt, else the old color
+};
+
+/// Decide the SMP update for one vertex given its own color and the colors
+/// of its 4 neighbor slots. Pure, O(1), branch-light: the engine's hot loop.
+constexpr SmpDecision smp_decide(Color own, const std::array<Color, grid::kDegree>& nbr) noexcept {
+    // Multiplicity of each slot's color among the 4 slots (6 comparisons).
+    const bool e01 = nbr[0] == nbr[1], e02 = nbr[0] == nbr[2], e03 = nbr[0] == nbr[3];
+    const bool e12 = nbr[1] == nbr[2], e13 = nbr[1] == nbr[3], e23 = nbr[2] == nbr[3];
+    const int cnt0 = 1 + e01 + e02 + e03;
+    const int cnt1 = 1 + e01 + e12 + e13;
+    const int cnt2 = 1 + e02 + e12 + e23;
+    const int cnt3 = 1 + e03 + e13 + e23;
+
+    int best = cnt0;
+    if (cnt1 > best) best = cnt1;
+    if (cnt2 > best) best = cnt2;
+    if (cnt3 > best) best = cnt3;
+
+    if (best < 2) return {SmpOutcome::NoPlurality, own};
+
+    // Unique plurality check: every slot achieving `best` must hold the same
+    // color. With 4 slots the only ambiguous split is 2+2.
+    Color cand = kUnset;
+    bool tie = false;
+    const int cnts[grid::kDegree] = {cnt0, cnt1, cnt2, cnt3};
+    for (std::size_t s = 0; s < grid::kDegree; ++s) {
+        if (cnts[s] != best) continue;
+        if (cand == kUnset) {
+            cand = nbr[s];
+        } else if (nbr[s] != cand) {
+            tie = true;
+            break;
+        }
+    }
+    if (tie) return {SmpOutcome::TiePairs, own};
+    return {SmpOutcome::Adopt, cand};
+}
+
+/// Convenience form: just the next color.
+constexpr Color smp_update(Color own, const std::array<Color, grid::kDegree>& nbr) noexcept {
+    return smp_decide(own, nbr).color;
+}
+
+/// Gather the neighbor colors of vertex v from a field.
+inline std::array<Color, grid::kDegree> gather_neighbors(const grid::Torus& torus,
+                                                         const ColorField& field,
+                                                         grid::VertexId v) noexcept {
+    const auto nb = torus.neighbors(v);
+    return {field[nb[0]], field[nb[1]], field[nb[2]], field[nb[3]]};
+}
+
+} // namespace dynamo

@@ -1,0 +1,193 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace dynamo {
+
+namespace {
+
+/// Union-find with an undo log: union by rank, no path compression, so a
+/// rollback is popping log entries. find() is O(log n) amortized.
+class RollbackDsu {
+  public:
+    explicit RollbackDsu(std::size_t n) : parent_(n), rank_(n, 0) {
+        std::iota(parent_.begin(), parent_.end(), 0u);
+    }
+
+    std::uint32_t find(std::uint32_t x) const noexcept {
+        while (parent_[x] != x) x = parent_[x];
+        return x;
+    }
+
+    /// Returns false (and records nothing) if already connected.
+    bool unite(std::uint32_t x, std::uint32_t y) {
+        std::uint32_t rx = find(x), ry = find(y);
+        if (rx == ry) return false;
+        if (rank_[rx] < rank_[ry]) std::swap(rx, ry);
+        parent_[ry] = rx;
+        const bool bumped = rank_[rx] == rank_[ry];
+        if (bumped) ++rank_[rx];
+        log_.push_back({ry, rx, bumped});
+        return true;
+    }
+
+    std::size_t mark() const noexcept { return log_.size(); }
+
+    void rollback(std::size_t mark_value) {
+        while (log_.size() > mark_value) {
+            const Entry e = log_.back();
+            log_.pop_back();
+            parent_[e.child] = e.child;
+            if (e.bumped) --rank_[e.root];
+        }
+    }
+
+  private:
+    struct Entry {
+        std::uint32_t child;
+        std::uint32_t root;
+        bool bumped;
+    };
+    std::vector<std::uint32_t> parent_;
+    std::vector<std::uint8_t> rank_;
+    std::vector<Entry> log_;
+};
+
+class ConditionSearch {
+  public:
+    ConditionSearch(const grid::Torus& torus, ColorField field, Color k,
+                    const SolverOptions& opts)
+        : torus_(torus), field_(std::move(field)), k_(k), opts_(opts), dsu_(torus.size()) {
+        for (grid::VertexId v = 0; v < torus_.size(); ++v) {
+            if (field_[v] == kUnset) order_.push_back(v);
+        }
+        // Palette: every color in {1..total_colors} except k.
+        for (Color c = 1; c <= opts_.total_colors; ++c) {
+            if (c != k_) palette_.push_back(c);
+        }
+        // Pre-link same-colored fixed vertices (seeds are all k and the
+        // forest condition only constrains non-k classes, but callers may
+        // pass arbitrary partial fields).
+        for (grid::VertexId v = 0; v < torus_.size(); ++v) {
+            if (field_[v] == kUnset || field_[v] == k_) continue;
+            for (const grid::VertexId u : torus_.neighbors(v)) {
+                if (u <= v || field_[u] != field_[v]) continue;
+                if (!dsu_.unite(v, u)) fixed_cycle_ = true;
+            }
+        }
+    }
+
+    SolverResult run() {
+        SolverResult result;
+        if (fixed_cycle_) {
+            result.status = SolverStatus::Unsat;
+            return result;
+        }
+        Xoshiro256 rng(opts_.rng_seed == 0 ? 0x9e3779b9ULL : opts_.rng_seed);
+        const SolverStatus status = dfs(0, rng);
+        result.status = status;
+        result.nodes = nodes_;
+        if (status == SolverStatus::Satisfied) result.field = field_;
+        return result;
+    }
+
+  private:
+    /// Violation test local to v after assigning it: (a) v's own foreign
+    /// neighbors pairwise distinct so far, (b) no assigned neighbor u gains
+    /// a duplicate foreign color through v.
+    bool locally_consistent(grid::VertexId v) const {
+        const Color cv = field_[v];
+        // (a)
+        {
+            Color seen[grid::kDegree];
+            std::size_t cnt = 0;
+            for (const grid::VertexId u : torus_.neighbors(v)) {
+                const Color cu = field_[u];
+                if (cu == kUnset || cu == cv || cu == k_) continue;
+                for (std::size_t s = 0; s < cnt; ++s) {
+                    if (seen[s] == cu) return false;
+                }
+                seen[cnt++] = cu;
+            }
+        }
+        // (b)
+        for (const grid::VertexId u : torus_.neighbors(v)) {
+            const Color cu = field_[u];
+            if (cu == kUnset || cu == k_) continue;
+            if (cv == cu || cv == k_) continue;  // v is not foreign to u
+            int same = 0;
+            for (const grid::VertexId w : torus_.neighbors(u)) {
+                same += (field_[w] == cv) ? 1 : 0;
+            }
+            // v itself is counted once; a second occurrence is a duplicate
+            // foreign color in N(u).
+            if (same >= 2) return false;
+        }
+        return true;
+    }
+
+    SolverStatus dfs(std::size_t depth, Xoshiro256& rng) {
+        if (depth == order_.size()) return SolverStatus::Satisfied;
+        const grid::VertexId v = order_[depth];
+
+        std::array<Color, 255> vals{};
+        const std::size_t nvals = palette_.size();
+        std::copy(palette_.begin(), palette_.end(), vals.begin());
+        if (opts_.rng_seed != 0) {
+            for (std::size_t i = nvals; i > 1; --i) {
+                std::swap(vals[i - 1], vals[rng.below(i)]);
+            }
+        }
+
+        for (std::size_t vi = 0; vi < nvals; ++vi) {
+            if (++nodes_ > opts_.max_nodes) return SolverStatus::BudgetOut;
+            const Color c = vals[vi];
+            field_[v] = c;
+
+            const std::size_t dsu_mark = dsu_.mark();
+            bool ok = true;
+            for (const grid::VertexId u : torus_.neighbors(v)) {
+                if (field_[u] == c && u != v) {
+                    if (!dsu_.unite(v, u)) {
+                        ok = false;  // closes a monochromatic cycle
+                        break;
+                    }
+                }
+            }
+            if (ok) ok = locally_consistent(v);
+            if (ok) {
+                const SolverStatus sub = dfs(depth + 1, rng);
+                if (sub != SolverStatus::Unsat) return sub;  // Satisfied or BudgetOut
+            }
+            dsu_.rollback(dsu_mark);
+            field_[v] = kUnset;
+        }
+        return SolverStatus::Unsat;
+    }
+
+    const grid::Torus& torus_;
+    ColorField field_;
+    Color k_;
+    SolverOptions opts_;
+    RollbackDsu dsu_;
+    std::vector<grid::VertexId> order_;
+    std::vector<Color> palette_;
+    std::uint64_t nodes_ = 0;
+    bool fixed_cycle_ = false;
+};
+
+} // namespace
+
+SolverResult solve_condition_coloring(const grid::Torus& torus, const ColorField& partial,
+                                      Color k, const SolverOptions& options) {
+    DYNAMO_REQUIRE(partial.size() == torus.size(), "partial field size mismatch");
+    DYNAMO_REQUIRE(options.total_colors >= 2, "need at least two colors");
+    DYNAMO_REQUIRE(k >= 1 && k <= options.total_colors, "seed color outside palette");
+    ConditionSearch search(torus, partial, k, options);
+    return search.run();
+}
+
+} // namespace dynamo

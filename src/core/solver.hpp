@@ -1,0 +1,55 @@
+// dynamo/core/solver.hpp
+//
+// Backtracking search for colorings of the non-seed vertices satisfying
+// the Theorem 2/4/6 sufficient conditions (core/conditions.hpp):
+// every non-seed color class a forest, every non-k vertex's foreign
+// neighbors pairwise distinct.
+//
+// Two uses:
+//  (1) a general fallback builder for seed sets / topologies without a
+//      closed-form pattern, and
+//  (2) an *experiment*: deciding whether |C| = 4 total colors suffice for
+//      the cordalis/serpentinus constructions (the paper asserts |C| >= 4
+//      but exhibits no pattern; our closed form uses 5 - see DESIGN.md).
+//
+// The search is complete: if it returns unsat without hitting the node
+// budget, no valid coloring exists for that palette size. Forest
+// maintenance uses a rollback union-find (union by rank, no path
+// compression) so backtracking is O(log n) per undo.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coloring.hpp"
+#include "grid/torus.hpp"
+
+namespace dynamo {
+
+struct SolverOptions {
+    Color total_colors = 4;            ///< |C| including the seed color k
+    std::uint64_t max_nodes = 20'000'000;  ///< search budget (assignments tried)
+    std::uint64_t rng_seed = 0x5eed;   ///< value-order randomization (0 = natural order)
+};
+
+enum class SolverStatus : std::uint8_t {
+    Satisfied,   ///< found a complete valid coloring
+    Unsat,       ///< search space exhausted: no coloring exists
+    BudgetOut,   ///< node budget exceeded before a conclusion
+};
+
+struct SolverResult {
+    SolverStatus status = SolverStatus::BudgetOut;
+    ColorField field;       ///< valid coloring when status == Satisfied
+    std::uint64_t nodes = 0;
+
+    bool found() const noexcept { return status == SolverStatus::Satisfied; }
+};
+
+/// Search for a coloring of all kUnset vertices of `partial` (seed vertices
+/// must already be colored; typically all k) such that the full field
+/// satisfies check_theorem_conditions(torus, field, k).
+SolverResult solve_condition_coloring(const grid::Torus& torus, const ColorField& partial,
+                                      Color k, const SolverOptions& options = {});
+
+} // namespace dynamo

@@ -1,0 +1,36 @@
+// dynamo/core/transform.hpp
+//
+// The paper's polynomial-time transformation phi : C -> {1, 2} (Section
+// II.C): phi(i) = 1 for every i != k and phi(k) = 2, mapping a
+// multi-colored torus onto a bi-colored one (1 = white, 2 = black). Under
+// phi, a non-k-block corresponds to a simple white block of Flocchini et
+// al. [15], which is how Propositions 1 and 2 transfer the bi-color
+// lower/upper bounds to the SMP setting.
+#pragma once
+
+#include "core/coloring.hpp"
+
+namespace dynamo {
+
+/// Conventional bi-color values used by the baselines in rules/majority.hpp.
+inline constexpr Color kWhite = 1;
+inline constexpr Color kBlack = 2;
+
+/// Collapse a multi-colored field: k -> kBlack, everything else -> kWhite.
+inline ColorField phi_collapse(const ColorField& field, Color k) {
+    ColorField out(field.size());
+    for (std::size_t v = 0; v < field.size(); ++v) {
+        out[v] = field[v] == k ? kBlack : kWhite;
+    }
+    return out;
+}
+
+/// True iff `field` is already bi-colored over {kWhite, kBlack}.
+inline bool is_bicolored(const ColorField& field) {
+    for (const Color c : field) {
+        if (c != kWhite && c != kBlack) return false;
+    }
+    return true;
+}
+
+} // namespace dynamo

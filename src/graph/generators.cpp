@@ -1,0 +1,97 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+
+namespace dynamo::graphx {
+
+Graph barabasi_albert(std::size_t num_vertices, std::uint32_t m_attach, Xoshiro256& rng) {
+    DYNAMO_REQUIRE(m_attach >= 1, "attachment count must be positive");
+    DYNAMO_REQUIRE(num_vertices > m_attach + 1, "graph too small for the seed clique");
+
+    std::vector<Edge> edges;
+    // Seed clique on m_attach + 1 vertices.
+    const std::size_t seed = m_attach + 1;
+    for (VertexId a = 0; a < seed; ++a) {
+        for (VertexId b = a + 1; b < seed; ++b) edges.emplace_back(a, b);
+    }
+
+    // Degree-proportional sampling: every edge endpoint appears once in
+    // `endpoints`, so a uniform draw from it is a draw by degree.
+    std::vector<VertexId> endpoints;
+    endpoints.reserve(2 * num_vertices * m_attach);
+    for (const auto& [a, b] : edges) {
+        endpoints.push_back(a);
+        endpoints.push_back(b);
+    }
+
+    std::vector<VertexId> picks;
+    for (VertexId v = static_cast<VertexId>(seed); v < num_vertices; ++v) {
+        picks.clear();
+        while (picks.size() < m_attach) {
+            const VertexId t = endpoints[rng.below(endpoints.size())];
+            if (std::find(picks.begin(), picks.end(), t) == picks.end()) picks.push_back(t);
+        }
+        for (const VertexId t : picks) {
+            edges.emplace_back(v, t);
+            endpoints.push_back(v);
+            endpoints.push_back(t);
+        }
+    }
+    return Graph::from_edges(num_vertices, edges);
+}
+
+Graph erdos_renyi(std::size_t num_vertices, double p, Xoshiro256& rng) {
+    DYNAMO_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability outside [0, 1]");
+    std::vector<Edge> edges;
+    for (VertexId a = 0; a < num_vertices; ++a) {
+        for (VertexId b = a + 1; b < num_vertices; ++b) {
+            if (rng.bernoulli(p)) edges.emplace_back(a, b);
+        }
+    }
+    return Graph::from_edges(num_vertices, edges);
+}
+
+Graph ring_lattice(std::size_t num_vertices, std::uint32_t k) {
+    DYNAMO_REQUIRE(k >= 1, "ring lattice needs k >= 1");
+    DYNAMO_REQUIRE(num_vertices > 2 * k, "ring lattice needs n > 2k");
+    std::vector<Edge> edges;
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        for (std::uint32_t d = 1; d <= k; ++d) {
+            edges.emplace_back(v, static_cast<VertexId>((v + d) % num_vertices));
+        }
+    }
+    return Graph::from_edges(num_vertices, edges);
+}
+
+Graph watts_strogatz(std::size_t num_vertices, std::uint32_t k, double beta, Xoshiro256& rng) {
+    DYNAMO_REQUIRE(beta >= 0.0 && beta <= 1.0, "rewiring probability outside [0, 1]");
+    DYNAMO_REQUIRE(k >= 1 && num_vertices > 2 * k, "ring lattice needs n > 2k");
+    std::vector<Edge> edges;
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        for (std::uint32_t d = 1; d <= k; ++d) {
+            VertexId far = static_cast<VertexId>((v + d) % num_vertices);
+            if (rng.bernoulli(beta)) {
+                do {
+                    far = static_cast<VertexId>(rng.below(num_vertices));
+                } while (far == v);
+            }
+            edges.emplace_back(v, far);
+        }
+    }
+    return Graph::from_edges(num_vertices, edges);
+}
+
+Graph from_torus(const grid::Torus& torus) {
+    std::vector<Edge> edges;
+    for (grid::VertexId v = 0; v < torus.size(); ++v) {
+        for (const grid::VertexId u : torus.neighbors(v)) {
+            if (v < u) edges.emplace_back(v, u);
+            // Degenerate slots with u == v (impossible: no torus direction
+            // maps a vertex to itself for m, n >= 2) need no handling; the
+            // v > u half-edges are added from the other endpoint.
+        }
+    }
+    return Graph::from_edges(torus.size(), edges);
+}
+
+} // namespace dynamo::graphx

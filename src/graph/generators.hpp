@@ -1,0 +1,42 @@
+// dynamo/graph/generators.hpp
+//
+// Deterministic graph generators for the extension experiments:
+//
+//   * Barabasi-Albert preferential attachment - the "scale-free networks"
+//     the paper's conclusions propose studying under the SMP-Protocol;
+//   * Erdos-Renyi G(n, p) - the homogeneous-degree control;
+//   * ring lattice (each vertex linked to its k nearest on a cycle) - the
+//     regular control, degenerating to the cycle for k = 1;
+//   * torus adapter - any paper torus as a general Graph, so the torus
+//     results can be cross-checked through the general plurality engine.
+//
+// All generators consume a caller-owned Xoshiro256 stream: identical seeds
+// yield identical graphs on every platform.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "grid/torus.hpp"
+#include "util/rng.hpp"
+
+namespace dynamo::graphx {
+
+/// Barabasi-Albert: start from a clique on `m_attach + 1` vertices, then
+/// attach each new vertex to `m_attach` distinct existing vertices chosen
+/// proportionally to degree (repeated-endpoint sampling on the edge list).
+Graph barabasi_albert(std::size_t num_vertices, std::uint32_t m_attach, Xoshiro256& rng);
+
+/// Erdos-Renyi G(n, p).
+Graph erdos_renyi(std::size_t num_vertices, double p, Xoshiro256& rng);
+
+/// Ring lattice: vertex i adjacent to i +/- 1 .. i +/- k (mod n).
+Graph ring_lattice(std::size_t num_vertices, std::uint32_t k);
+
+/// Watts-Strogatz small world: ring_lattice(n, k) with each edge's far
+/// endpoint rewired uniformly with probability beta (no self-loops; the
+/// occasional duplicate edge is kept as a parallel edge).
+Graph watts_strogatz(std::size_t num_vertices, std::uint32_t k, double beta, Xoshiro256& rng);
+
+/// Any paper torus as a general graph (degenerate parallel slots kept).
+Graph from_torus(const grid::Torus& torus);
+
+} // namespace dynamo::graphx

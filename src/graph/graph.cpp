@@ -1,0 +1,72 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dynamo::graphx {
+
+Graph Graph::from_edges(std::size_t num_vertices, const std::vector<Edge>& edges) {
+    DYNAMO_REQUIRE(num_vertices >= 1, "graph needs at least one vertex");
+    Graph g;
+    g.offsets_.assign(num_vertices + 1, 0);
+
+    for (const auto& [a, b] : edges) {
+        DYNAMO_REQUIRE(a < num_vertices && b < num_vertices, "edge endpoint out of range");
+        DYNAMO_REQUIRE(a != b, "self-loops are not supported");
+        ++g.offsets_[a + 1];
+        ++g.offsets_[b + 1];
+    }
+    for (std::size_t v = 0; v < num_vertices; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+    g.adjacency_.resize(2 * edges.size());
+    std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (const auto& [a, b] : edges) {
+        g.adjacency_[cursor[a]++] = b;
+        g.adjacency_[cursor[b]++] = a;
+    }
+    // Sorted adjacency makes neighbor scans cache-friendly and results
+    // independent of edge-list order.
+    for (std::size_t v = 0; v < num_vertices; ++v) {
+        std::sort(g.adjacency_.begin() + g.offsets_[v], g.adjacency_.begin() + g.offsets_[v + 1]);
+    }
+    return g;
+}
+
+std::uint32_t Graph::max_degree() const noexcept {
+    std::uint32_t best = 0;
+    for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+        best = std::max(best, offsets_[v + 1] - offsets_[v]);
+    }
+    return best;
+}
+
+double Graph::mean_degree() const noexcept {
+    if (num_vertices() == 0) return 0.0;
+    return static_cast<double>(adjacency_.size()) / static_cast<double>(num_vertices());
+}
+
+std::size_t Graph::connected_components() const {
+    const std::size_t n = num_vertices();
+    std::vector<char> visited(n, 0);
+    std::size_t components = 0;
+    for (VertexId s = 0; s < n; ++s) {
+        if (visited[s]) continue;
+        ++components;
+        std::queue<VertexId> bfs;
+        bfs.push(s);
+        visited[s] = 1;
+        while (!bfs.empty()) {
+            const VertexId v = bfs.front();
+            bfs.pop();
+            for (const VertexId u : neighbors(v)) {
+                if (!visited[u]) {
+                    visited[u] = 1;
+                    bfs.push(u);
+                }
+            }
+        }
+    }
+    return components;
+}
+
+} // namespace dynamo::graphx

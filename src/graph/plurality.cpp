@@ -1,0 +1,169 @@
+#include "graph/plurality.hpp"
+
+#include <array>
+#include <unordered_map>
+
+namespace dynamo::graphx {
+
+namespace {
+
+Color decide(Color own, std::span<const VertexId> nbrs, const Color* colors,
+             PluralityThreshold threshold) {
+    // Count neighbor colors in a 256-slot scratch; touched-list reset keeps
+    // the scan O(deg) rather than O(256).
+    std::array<std::uint32_t, 256> counts{};
+    std::array<Color, 64> touched_small;
+    std::size_t touched_n = 0;
+    bool overflow = false;
+
+    std::uint32_t best = 0;
+    Color best_color = own;
+    bool tie = false;
+    for (const VertexId u : nbrs) {
+        const Color c = colors[u];
+        if (counts[c] == 0) {
+            if (touched_n < touched_small.size()) {
+                touched_small[touched_n++] = c;
+            } else {
+                overflow = true;  // fall back to full reset below
+            }
+        }
+        const std::uint32_t cnt = ++counts[c];
+        if (cnt > best) {
+            best = cnt;
+            best_color = c;
+            tie = false;
+        } else if (cnt == best && c != best_color) {
+            tie = true;
+        }
+    }
+
+    if (overflow) {
+        counts.fill(0);
+    } else {
+        for (std::size_t s = 0; s < touched_n; ++s) counts[touched_small[s]] = 0;
+    }
+
+    const auto d = static_cast<std::uint32_t>(nbrs.size());
+    std::uint32_t need = 2;
+    switch (threshold) {
+        case PluralityThreshold::AtLeastTwo: need = 2; break;
+        case PluralityThreshold::SimpleHalf: need = (d + 1) / 2; break;
+        case PluralityThreshold::StrongHalf: need = d / 2 + 1; break;
+    }
+    if (tie || best < need) return own;
+    return best_color;
+}
+
+struct Fingerprint {
+    std::uint64_t a = 0xcbf29ce484222325ULL;
+    std::uint64_t b = 0x9e3779b97f4a7c15ULL;
+    void mix(const ColorField& f) noexcept {
+        for (const Color c : f) {
+            a = (a ^ c) * 0x100000001b3ULL;
+            b = (b ^ (c + 0x9eu)) * 0xc6a4a7935bd1e995ULL;
+        }
+    }
+};
+
+} // namespace
+
+std::size_t plurality_step(const Graph& graph, const ColorField& current, ColorField& next,
+                           PluralityThreshold threshold) {
+    DYNAMO_REQUIRE(current.size() == graph.num_vertices(), "field size mismatch");
+    next.resize(current.size());
+    std::size_t changed = 0;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+        const Color out = decide(current[v], graph.neighbors(v), current.data(), threshold);
+        next[v] = out;
+        changed += (out != current[v]);
+    }
+    return changed;
+}
+
+GraphTrace simulate_plurality(const Graph& graph, const ColorField& initial,
+                              const GraphSimulationOptions& options) {
+    DYNAMO_REQUIRE(initial.size() == graph.num_vertices(), "field size mismatch");
+    const std::size_t n = graph.num_vertices();
+    const std::uint32_t cap = options.max_rounds != 0
+                                  ? options.max_rounds
+                                  : static_cast<std::uint32_t>(4 * n + 64);
+
+    GraphTrace trace;
+    const bool track = options.target.has_value();
+    const Color k = options.target.value_or(kUnset);
+
+    std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint32_t>> seen;
+    const auto fp = [](const ColorField& f) {
+        Fingerprint h;
+        h.mix(f);
+        return h;
+    };
+    if (options.detect_cycles) {
+        const Fingerprint h = fp(initial);
+        seen.emplace(h.a, std::make_pair(h.b, 0u));
+    }
+
+    ColorField cur = initial, next;
+    const auto finish = [&](GraphTrace& t) {
+        if (track) t.final_target_count = count_color(cur, k);
+        t.final_colors = cur;
+    };
+
+    if (auto mono = monochromatic_color(cur)) {
+        trace.monochromatic = true;
+        trace.mono = mono;
+        finish(trace);
+        return trace;
+    }
+
+    for (std::uint32_t r = 1; r <= cap; ++r) {
+        const std::size_t changed = plurality_step(graph, cur, next, options.threshold);
+        if (track) {
+            for (std::size_t v = 0; v < n; ++v) {
+                if (cur[v] == k && next[v] != k) {
+                    trace.monotone = false;
+                    break;
+                }
+            }
+        }
+        cur.swap(next);
+        trace.total_recolorings += changed;
+
+        if (changed == 0) {
+            trace.fixed_point = true;
+            trace.rounds = r - 1;
+            if (auto mono = monochromatic_color(cur)) {
+                trace.monochromatic = true;
+                trace.mono = mono;
+            }
+            finish(trace);
+            return trace;
+        }
+        if (auto mono = monochromatic_color(cur)) {
+            trace.monochromatic = true;
+            trace.mono = mono;
+            trace.rounds = r;
+            finish(trace);
+            return trace;
+        }
+        if (options.detect_cycles) {
+            const Fingerprint h = fp(cur);
+            const auto it = seen.find(h.a);
+            if (it != seen.end() && it->second.first == h.b) {
+                trace.cycle = true;
+                trace.cycle_period = r - it->second.second;
+                trace.rounds = r;
+                finish(trace);
+                return trace;
+            }
+            seen.emplace(h.a, std::make_pair(h.b, r));
+        }
+    }
+
+    trace.rounds = cap;
+    finish(trace);
+    return trace;
+}
+
+} // namespace dynamo::graphx

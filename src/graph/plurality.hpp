@@ -1,0 +1,60 @@
+// dynamo/graph/plurality.hpp
+//
+// The SMP-Protocol generalized to arbitrary-degree graphs, for the
+// scale-free extension experiments. On the 4-regular torus the paper's
+// rule reads "adopt the unique plurality color of multiplicity >= 2";
+// on general graphs the multiplicity threshold must scale with degree, so
+// the engine supports three thresholds:
+//
+//   * AtLeastTwo   - the literal torus rule (>= 2 regardless of degree);
+//   * SimpleHalf   - unique plurality with multiplicity >= ceil(d/2), the
+//                    simple-majority analogue;
+//   * StrongHalf   - >= floor(d/2) + 1, the strong-majority analogue.
+//
+// Ties (no unique qualifying plurality) always keep the current color,
+// matching the paper's Prefer-Current-flavored ambiguity resolution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/coloring.hpp"
+#include "graph/graph.hpp"
+
+namespace dynamo::graphx {
+
+enum class PluralityThreshold : std::uint8_t { AtLeastTwo, SimpleHalf, StrongHalf };
+
+struct GraphSimulationOptions {
+    std::uint32_t max_rounds = 0;  ///< 0 = automatic cap (4*|V| + 64)
+    std::optional<Color> target;   ///< track adoption / monotonicity of this color
+    bool detect_cycles = true;
+    PluralityThreshold threshold = PluralityThreshold::SimpleHalf;
+};
+
+struct GraphTrace {
+    bool monochromatic = false;
+    bool fixed_point = false;
+    bool cycle = false;
+    std::uint32_t rounds = 0;
+    std::uint32_t cycle_period = 0;
+    std::optional<Color> mono;
+    std::uint64_t total_recolorings = 0;
+    bool monotone = true;                 ///< w.r.t. options.target
+    std::size_t final_target_count = 0;   ///< |S_k| at termination
+    ColorField final_colors;
+
+    bool reached_mono(Color k) const { return monochromatic && mono && *mono == k; }
+};
+
+/// One synchronous round over the graph; returns number of changed
+/// vertices. `scratch` must hold >= 256 zero-initialized counters and is
+/// restored to zeros before returning (epoch-free reset via touched list).
+std::size_t plurality_step(const Graph& graph, const ColorField& current, ColorField& next,
+                           PluralityThreshold threshold);
+
+/// Full run with termination detection, mirroring core/engine.hpp.
+GraphTrace simulate_plurality(const Graph& graph, const ColorField& initial,
+                              const GraphSimulationOptions& options = {});
+
+} // namespace dynamo::graphx

@@ -1,0 +1,125 @@
+#include "graph/temporal.hpp"
+
+#include <array>
+
+#include "core/smp_rule.hpp"
+#include "util/rng.hpp"
+
+namespace dynamo::graphx {
+
+namespace {
+
+/// Deterministic symmetric edge-availability draw for one round.
+bool edge_present(std::uint64_t seed, std::uint32_t round, grid::VertexId a, grid::VertexId b,
+                  double edge_up) {
+    if (edge_up >= 1.0) return true;
+    const std::uint64_t lo = std::min(a, b), hi = std::max(a, b);
+    SplitMix64 h(seed ^ (0x9e3779b97f4a7c15ULL * (round + 1)) ^ (lo << 32) ^ hi);
+    return static_cast<double>(h.next() >> 11) * 0x1.0p-53 < edge_up;
+}
+
+/// SMP decision over the present neighbor slots only: unique plurality of
+/// multiplicity >= 2 adopts; everything else keeps.
+Color decide_partial(Color own, const std::array<Color, grid::kDegree>& nbr,
+                     const std::array<bool, grid::kDegree>& up) {
+    Color colors[grid::kDegree];
+    int counts[grid::kDegree];
+    std::size_t distinct = 0;
+    for (std::size_t s = 0; s < grid::kDegree; ++s) {
+        if (!up[s]) continue;
+        bool found = false;
+        for (std::size_t t = 0; t < distinct; ++t) {
+            if (colors[t] == nbr[s]) {
+                ++counts[t];
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            colors[distinct] = nbr[s];
+            counts[distinct] = 1;
+            ++distinct;
+        }
+    }
+    int best = 0;
+    Color best_color = own;
+    bool tie = false;
+    for (std::size_t t = 0; t < distinct; ++t) {
+        if (counts[t] > best) {
+            best = counts[t];
+            best_color = colors[t];
+            tie = false;
+        } else if (counts[t] == best) {
+            tie = true;
+        }
+    }
+    if (best < 2 || tie) return own;
+    return best_color;
+}
+
+} // namespace
+
+TemporalTrace simulate_temporal(const grid::Torus& torus, const ColorField& initial,
+                                const TemporalOptions& options) {
+    require_complete(torus, initial);
+    DYNAMO_REQUIRE(options.edge_up >= 0.0 && options.edge_up <= 1.0,
+                   "edge availability outside [0, 1]");
+    const std::size_t n = torus.size();
+    const std::uint32_t cap = options.max_rounds != 0
+                                  ? options.max_rounds
+                                  : static_cast<std::uint32_t>(8 * n + 64);
+
+    TemporalTrace trace;
+    const bool track = options.target.has_value();
+    const Color k = options.target.value_or(kUnset);
+
+    ColorField cur = initial, next(n);
+    const auto finish = [&](std::uint32_t rounds) {
+        trace.rounds = rounds;
+        if (track) trace.final_target_count = count_color(cur, k);
+        trace.final_colors = cur;
+    };
+
+    if (auto mono = monochromatic_color(cur)) {
+        trace.monochromatic = true;
+        trace.mono = mono;
+        finish(0);
+        return trace;
+    }
+
+    for (std::uint32_t r = 1; r <= cap; ++r) {
+        std::size_t changed = 0;
+        for (grid::VertexId v = 0; v < n; ++v) {
+            const auto nbrs = torus.neighbors(v);
+            std::array<Color, grid::kDegree> nbr_colors;
+            std::array<bool, grid::kDegree> up;
+            for (std::size_t s = 0; s < grid::kDegree; ++s) {
+                nbr_colors[s] = cur[nbrs[s]];
+                up[s] = edge_present(options.seed, r, v, nbrs[s], options.edge_up);
+            }
+            const Color out = decide_partial(cur[v], nbr_colors, up);
+            next[v] = out;
+            changed += (out != cur[v]);
+        }
+        if (track) {
+            for (std::size_t v = 0; v < n; ++v) {
+                if (cur[v] == k && next[v] != k) {
+                    trace.monotone = false;
+                    break;
+                }
+            }
+        }
+        cur.swap(next);
+        trace.total_recolorings += changed;
+        if (auto mono = monochromatic_color(cur)) {
+            trace.monochromatic = true;
+            trace.mono = mono;
+            finish(r);
+            return trace;
+        }
+    }
+    finish(cap);
+    return trace;
+}
+
+} // namespace dynamo::graphx

@@ -1,0 +1,50 @@
+// dynamo/graph/temporal.hpp
+//
+// Time-varying interaction topologies - the second extension the paper's
+// conclusions call for ("such a protocol should be investigated in
+// contexts where graphs are subject to intermittent availability of both
+// links and nodes", citing Casteigts-Flocchini-Quattrociocchi-Santoro).
+//
+// Model: each round, every undirected torus edge is independently *present*
+// with probability `edge_up`, decided by a deterministic hash of
+// (seed, round, edge), so both endpoints agree and runs are reproducible.
+// A vertex applies the SMP plurality semantics over its present neighbor
+// slots only: adopt the unique plurality color of multiplicity >= 2 among
+// present neighbors; otherwise (including < 2 present) keep its color.
+// Degenerate parallel slots (m = 2 or n = 2) share one edge decision.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/coloring.hpp"
+#include "grid/torus.hpp"
+
+namespace dynamo::graphx {
+
+struct TemporalOptions {
+    double edge_up = 1.0;          ///< per-round availability of each edge
+    std::uint64_t seed = 0x7e3;    ///< availability stream seed
+    std::uint32_t max_rounds = 0;  ///< 0 = automatic cap (8*|V| + 64)
+    std::optional<Color> target;   ///< track monotonicity / adoption of k
+};
+
+struct TemporalTrace {
+    bool monochromatic = false;
+    std::optional<Color> mono;
+    std::uint32_t rounds = 0;
+    std::uint64_t total_recolorings = 0;
+    bool monotone = true;
+    std::size_t final_target_count = 0;
+    ColorField final_colors;
+
+    bool reached_mono(Color k) const { return monochromatic && mono && *mono == k; }
+};
+
+/// Simulate the SMP-Protocol on `torus` under intermittent edge
+/// availability. With edge_up == 1.0 this reproduces core::simulate()
+/// exactly (asserted in tests).
+TemporalTrace simulate_temporal(const grid::Torus& torus, const ColorField& initial,
+                                const TemporalOptions& options);
+
+} // namespace dynamo::graphx

@@ -1,0 +1,114 @@
+// dynamo/grid/torus.hpp
+//
+// The three 4-regular interaction topologies of the paper (Section II.A):
+//
+//   * Toroidal mesh   - Definition 1: vertex v(i,j) is adjacent to
+//                       v((i±1) mod m, j) and v(i, (j±1) mod n).
+//   * Torus cordalis  - like the toroidal mesh except the last vertex
+//                       v(i, n-1) of each row connects to the first vertex
+//                       v((i+1) mod m, 0) of the next row: the horizontal
+//                       links form a single row-spiral Hamiltonian cycle
+//                       (the chordal ring C(mn; n)).
+//   * Torus serpentinus - like the torus cordalis except the last vertex
+//                       v(m-1, j) of each column connects to the first
+//                       vertex v(0, (j-1) mod n) of column j-1: the vertical
+//                       links also form a single Hamiltonian cycle,
+//                       descending through columns.
+//
+// Every vertex has exactly 4 neighbor *slots* (Up, Down, Left, Right). For
+// degenerate sizes (m = 2 or n = 2) two slots may reference the same vertex;
+// the SMP rule counts colors per slot, matching the paper's |N(x)| = 4.
+//
+// Neighbors are precomputed into a flat row-major table (4 entries per
+// vertex, contiguous) so a simulation round is a single linear sweep with
+// unit-stride loads - the layout a cache/NUMA-conscious HPC code would use.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dynamo::grid {
+
+using VertexId = std::uint32_t;
+
+enum class Topology : std::uint8_t {
+    ToroidalMesh,
+    TorusCordalis,
+    TorusSerpentinus,
+};
+
+/// Neighbor slot order. The SMP rule is slot-order independent, but traces,
+/// tests and renderers rely on a fixed convention.
+enum class Direction : std::uint8_t { Up = 0, Down = 1, Left = 2, Right = 3 };
+
+inline constexpr std::size_t kDegree = 4;
+
+const char* to_string(Topology t) noexcept;
+
+/// Parse "mesh" / "cordalis" / "serpentinus" (as used by bench CLIs).
+Topology topology_from_string(const std::string& name);
+
+struct Coord {
+    std::uint32_t i = 0;  ///< row, 0 <= i < rows
+    std::uint32_t j = 0;  ///< column, 0 <= j < cols
+
+    friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// An m x n torus of one of the three paper topologies with a precomputed
+/// neighbor table. Immutable after construction; cheap to share by
+/// reference across threads.
+class Torus {
+  public:
+    /// Requires m, n >= 2 (the paper's standing assumption).
+    Torus(Topology topology, std::uint32_t rows, std::uint32_t cols);
+
+    Topology topology() const noexcept { return topology_; }
+    std::uint32_t rows() const noexcept { return rows_; }
+    std::uint32_t cols() const noexcept { return cols_; }
+    std::size_t size() const noexcept { return static_cast<std::size_t>(rows_) * cols_; }
+
+    VertexId index(std::uint32_t i, std::uint32_t j) const noexcept {
+        DYNAMO_ASSERT(i < rows_ && j < cols_, "coordinate out of range");
+        return i * cols_ + j;
+    }
+    VertexId index(Coord c) const noexcept { return index(c.i, c.j); }
+
+    Coord coord(VertexId v) const noexcept {
+        DYNAMO_ASSERT(v < size(), "vertex id out of range");
+        return Coord{v / cols_, v % cols_};
+    }
+
+    /// The 4 neighbor slots of v in Up, Down, Left, Right order.
+    std::span<const VertexId, kDegree> neighbors(VertexId v) const noexcept {
+        DYNAMO_ASSERT(v < size(), "vertex id out of range");
+        return std::span<const VertexId, kDegree>(&table_[static_cast<std::size_t>(v) * kDegree],
+                                                  kDegree);
+    }
+
+    VertexId neighbor(VertexId v, Direction d) const noexcept {
+        return neighbors(v)[static_cast<std::size_t>(d)];
+    }
+
+    /// Direct (table-free) neighbor computation from the paper's definitions.
+    /// The constructor fills the table with exactly these values; tests
+    /// cross-check table vs. formula on full sweeps.
+    static Coord neighbor_coord(Topology t, std::uint32_t m, std::uint32_t n, Coord c,
+                                Direction d) noexcept;
+
+    /// Raw table access for the engine's inner loop.
+    const VertexId* table_data() const noexcept { return table_.data(); }
+
+  private:
+    Topology topology_;
+    std::uint32_t rows_;
+    std::uint32_t cols_;
+    std::vector<VertexId> table_;  // size() * kDegree entries
+};
+
+} // namespace dynamo::grid

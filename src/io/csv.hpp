@@ -1,0 +1,54 @@
+// dynamo/io/csv.hpp
+//
+// Minimal CSV emitter used by the bench binaries (--csv=<path>) so every
+// regenerated table can be post-processed or plotted without re-running.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dynamo::io {
+
+class CsvWriter {
+  public:
+    explicit CsvWriter(const std::string& path) : out_(path) {
+        DYNAMO_REQUIRE(static_cast<bool>(out_), "cannot open CSV file '" + path + "'");
+    }
+
+    template <typename... Cells>
+    void row(const Cells&... cells) {
+        bool first = true;
+        ((emit(cells, first), first = false), ...);
+        out_ << '\n';
+    }
+
+    void raw(const std::string& line) { out_ << line; }
+
+  private:
+    template <typename T>
+    void emit(const T& value, bool first) {
+        if (!first) out_ << ',';
+        std::ostringstream os;
+        os << value;
+        std::string s = os.str();
+        const bool needs_quote = s.find_first_of(",\"\n") != std::string::npos;
+        if (needs_quote) {
+            std::string quoted = "\"";
+            for (const char ch : s) {
+                if (ch == '"') quoted += '"';
+                quoted += ch;
+            }
+            quoted += '"';
+            s = std::move(quoted);
+        }
+        out_ << s;
+    }
+
+    std::ofstream out_;
+};
+
+} // namespace dynamo::io

@@ -1,0 +1,74 @@
+#include "io/ppm.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dynamo::io {
+
+Rgb palette_rgb(Color c) {
+    // Hand-picked first entries (seed color 1 = near-black, as in the
+    // paper's figures), then a golden-angle hue walk for the tail.
+    static constexpr Rgb head[] = {
+        {240, 240, 240},  // 0 = unset: light gray
+        {20, 20, 20},     // 1: black
+        {214, 69, 65},    // 2: red
+        {68, 108, 179},   // 3: blue
+        {77, 175, 124},   // 4: green
+        {244, 179, 80},   // 5: amber
+        {142, 68, 173},   // 6: purple
+        {52, 172, 224},   // 7: cyan
+    };
+    if (c < sizeof(head) / sizeof(head[0])) return head[c];
+    // 137.5-degree golden-angle hue spacing, fixed saturation/value.
+    const double hue = std::fmod(137.508 * c, 360.0) / 60.0;
+    const int sector = static_cast<int>(hue) % 6;
+    const double f = hue - static_cast<int>(hue);
+    const auto channel = [](double x) { return static_cast<std::uint8_t>(55 + 200 * x); };
+    const std::uint8_t v = channel(1.0), p = channel(0.15), q = channel(1.0 - 0.85 * f),
+                       t = channel(0.15 + 0.85 * f);
+    switch (sector) {
+        case 0: return {v, t, p};
+        case 1: return {q, v, p};
+        case 2: return {p, v, t};
+        case 3: return {p, q, v};
+        case 4: return {t, p, v};
+        default: return {v, p, q};
+    }
+}
+
+void write_ppm(const std::string& path, const grid::Torus& torus, const ColorField& field,
+               unsigned scale) {
+    DYNAMO_REQUIRE(field.size() == torus.size(), "field size mismatch");
+    DYNAMO_REQUIRE(scale >= 1, "scale must be positive");
+
+    const std::size_t width = torus.cols() * scale;
+    const std::size_t height = torus.rows() * scale;
+
+    std::vector<std::uint8_t> pixels(width * height * 3);
+    for (std::uint32_t i = 0; i < torus.rows(); ++i) {
+        for (std::uint32_t j = 0; j < torus.cols(); ++j) {
+            const Rgb rgb = palette_rgb(field[torus.index(i, j)]);
+            for (unsigned di = 0; di < scale; ++di) {
+                std::uint8_t* row =
+                    pixels.data() + ((static_cast<std::size_t>(i) * scale + di) * width +
+                                     static_cast<std::size_t>(j) * scale) * 3;
+                for (unsigned dj = 0; dj < scale; ++dj) {
+                    row[dj * 3 + 0] = rgb[0];
+                    row[dj * 3 + 1] = rgb[1];
+                    row[dj * 3 + 2] = rgb[2];
+                }
+            }
+        }
+    }
+
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+    out << "P6\n" << width << ' ' << height << "\n255\n";
+    out.write(reinterpret_cast<const char*>(pixels.data()),
+              static_cast<std::streamsize>(pixels.size()));
+    if (!out) throw std::runtime_error("short write to '" + path + "'");
+}
+
+} // namespace dynamo::io

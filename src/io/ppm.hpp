@@ -1,0 +1,27 @@
+// dynamo/io/ppm.hpp
+//
+// Binary PPM (P6) frame writer: turns colorings into images so wave
+// evolutions (examples/wavefront_frames) can be inspected visually or
+// assembled into animations with standard tools. No external image
+// library - PPM is three lines of header plus raw RGB.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/coloring.hpp"
+#include "grid/torus.hpp"
+
+namespace dynamo::io {
+
+using Rgb = std::array<std::uint8_t, 3>;
+
+/// Deterministic, visually well-separated palette entry for a color id.
+Rgb palette_rgb(Color c);
+
+/// Write `field` as a PPM image, each cell rendered as a scale x scale
+/// pixel block. Throws std::runtime_error on I/O failure.
+void write_ppm(const std::string& path, const grid::Torus& torus, const ColorField& field,
+               unsigned scale = 8);
+
+} // namespace dynamo::io

@@ -1,0 +1,50 @@
+// dynamo/rules/incremental.hpp
+//
+// The ordered-color variant the paper points to in its introduction and
+// conclusions ("if the set of colors is ordered ... a node recoloring
+// itself increases its color by one" - Brunetti, Lodi, Quattrociocchi,
+// "Multicolored dynamos on toroidal meshes" [4] and "Stubborn entities in
+// colored toroidal meshes" [5]).
+//
+// Rule: whenever the SMP trigger fires (a unique neighbor color with
+// multiplicity >= 2 differing from the vertex's own color), the vertex
+// does not jump to the triggering color - it advances its own color by
+// one step toward it on the ordered scale {1..|C|}, saturating at the
+// endpoints. The "stubborn" entities of [5] additionally require `inertia`
+// consecutive triggering rounds before moving.
+//
+// This realizes the paper's X2 extension experiment; its dynamics differ
+// qualitatively from SMP (gradual fronts, longer convergence), which
+// bench_tab_ext_incremental quantifies.
+#pragma once
+
+#include <array>
+
+#include "core/engine.hpp"
+
+namespace dynamo::rules {
+
+/// Engine rule functor for the ordered "+1" protocol.
+struct IncrementalRule {
+    Color num_colors = 4;
+
+    Color operator()(Color own, const std::array<Color, grid::kDegree>& nbr) const noexcept {
+        const SmpDecision d = smp_decide(own, nbr);
+        if (d.outcome != SmpOutcome::Adopt || d.color == own) return own;
+        // Move one step along the ordered color scale toward the plurality.
+        if (d.color > own) return static_cast<Color>(own + 1);
+        return static_cast<Color>(own - 1);
+    }
+};
+
+/// Simulate the incremental rule.
+inline Trace simulate_incremental(const grid::Torus& torus, const ColorField& initial,
+                                  Color num_colors, const SimulationOptions& options = {}) {
+    DYNAMO_REQUIRE(num_colors >= 2, "ordered rule needs at least two colors");
+    for (const Color c : initial) {
+        DYNAMO_REQUIRE(c >= 1 && c <= num_colors, "color outside the ordered scale");
+    }
+    return simulate_rule(torus, initial, IncrementalRule{num_colors}, options);
+}
+
+} // namespace dynamo::rules

@@ -1,0 +1,85 @@
+// dynamo/rules/majority.hpp
+//
+// The bi-colored baseline rules of Flocchini, Lodi, Luccio, Pagli, Santoro,
+// "Dynamic monopolies in tori" (Discrete Applied Mathematics 137, 2004) -
+// the paper's reference [15], against which Propositions 1 and 2 transfer
+// lower/upper bounds, and the Prefer-Black / Prefer-Current tie options of
+// Peleg [26]:
+//
+//   * simple majority:  a vertex takes color X if at least ceil(d/2) = 2 of
+//     its 4 neighbors hold X; a 2-2 tie resolves by policy (Prefer-Black
+//     adopts black, Prefer-Current keeps the current color).
+//   * strong majority:  requires ceil((d+1)/2) = 3 of 4 neighbors; no tie
+//     is possible.
+//   * irreversible ("reverse" / monotone) variants: black never reverts -
+//     the fault-propagation semantics under which [15] proves its dynamo
+//     bounds.
+//
+// Colors follow core/transform.hpp: kWhite = 1, kBlack = 2.
+#pragma once
+
+#include <array>
+
+#include "core/engine.hpp"
+#include "core/transform.hpp"
+
+namespace dynamo::rules {
+
+enum class MajorityKind : std::uint8_t { Simple, Strong };
+enum class TiePolicy : std::uint8_t { PreferBlack, PreferCurrent };
+
+/// Engine rule functor for the bi-color majority protocols.
+struct MajorityRule {
+    MajorityKind kind = MajorityKind::Simple;
+    TiePolicy tie = TiePolicy::PreferBlack;
+    /// Black is absorbing (the "reverse"/monotone fault semantics of [15]).
+    bool irreversible = true;
+
+    Color operator()(Color own, const std::array<Color, grid::kDegree>& nbr) const noexcept {
+        int black = 0;
+        for (const Color c : nbr) black += (c == kBlack) ? 1 : 0;
+        const int white = static_cast<int>(grid::kDegree) - black;
+
+        Color next;
+        if (kind == MajorityKind::Simple) {
+            if (black > white) {
+                next = kBlack;
+            } else if (white > black) {
+                next = kWhite;
+            } else {  // 2-2 tie
+                next = (tie == TiePolicy::PreferBlack) ? kBlack : own;
+            }
+        } else {  // Strong: need >= 3
+            if (black >= 3) {
+                next = kBlack;
+            } else if (white >= 3) {
+                next = kWhite;
+            } else {
+                next = own;
+            }
+        }
+
+        if (irreversible && own == kBlack) return kBlack;
+        return next;
+    }
+};
+
+/// Convenience: the canonical rule variants named in the papers.
+inline constexpr MajorityRule reverse_simple_majority() noexcept {
+    return MajorityRule{MajorityKind::Simple, TiePolicy::PreferBlack, true};
+}
+inline constexpr MajorityRule reverse_strong_majority() noexcept {
+    return MajorityRule{MajorityKind::Strong, TiePolicy::PreferBlack, true};
+}
+inline constexpr MajorityRule simple_majority_prefer_current() noexcept {
+    return MajorityRule{MajorityKind::Simple, TiePolicy::PreferCurrent, false};
+}
+
+/// Simulate a bi-colored field under a majority rule.
+inline Trace simulate_majority(const grid::Torus& torus, const ColorField& initial,
+                               const MajorityRule& rule, const SimulationOptions& options = {}) {
+    DYNAMO_REQUIRE(is_bicolored(initial), "majority baselines require a bi-colored field");
+    return simulate_rule(torus, initial, rule, options);
+}
+
+} // namespace dynamo::rules

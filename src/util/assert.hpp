@@ -1,0 +1,51 @@
+// dynamo/util/assert.hpp
+//
+// Contract-checking macros used throughout the library.
+//
+// DYNAMO_REQUIRE   - precondition check, always on, throws std::invalid_argument.
+// DYNAMO_ENSURE    - internal invariant check, always on, throws std::logic_error.
+// DYNAMO_ASSERT    - debug-only invariant check (compiled out in NDEBUG builds).
+//
+// Throwing (rather than aborting) keeps the library testable: failure-injection
+// tests assert that malformed inputs are rejected with a useful message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dynamo::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+    std::ostringstream os;
+    os << "dynamo: precondition failed: (" << expr << ") at " << file << ':' << line;
+    if (!msg.empty()) os << " - " << msg;
+    throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_ensure(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+    std::ostringstream os;
+    os << "dynamo: invariant violated: (" << expr << ") at " << file << ':' << line;
+    if (!msg.empty()) os << " - " << msg;
+    throw std::logic_error(os.str());
+}
+
+} // namespace dynamo::detail
+
+#define DYNAMO_REQUIRE(expr, msg)                                                  \
+    do {                                                                           \
+        if (!(expr)) ::dynamo::detail::throw_require(#expr, __FILE__, __LINE__, (msg)); \
+    } while (false)
+
+#define DYNAMO_ENSURE(expr, msg)                                                   \
+    do {                                                                           \
+        if (!(expr)) ::dynamo::detail::throw_ensure(#expr, __FILE__, __LINE__, (msg)); \
+    } while (false)
+
+#ifdef NDEBUG
+#define DYNAMO_ASSERT(expr, msg) ((void)0)
+#else
+#define DYNAMO_ASSERT(expr, msg) DYNAMO_ENSURE(expr, msg)
+#endif

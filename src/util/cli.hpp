@@ -1,0 +1,79 @@
+// dynamo/util/cli.hpp
+//
+// Tiny argument parser shared by the bench and example binaries.
+// Supports --key=value / --key value / --flag forms; every binary prints
+// its accepted options with --help, so the experiment harness is
+// self-documenting (needed: each paper table has tweakable sweep bounds).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dynamo {
+
+class CliArgs {
+  public:
+    CliArgs(int argc, const char* const* argv) {
+        DYNAMO_REQUIRE(argc >= 1, "argc must include the program name");
+        program_ = argv[0];
+        for (int i = 1; i < argc; ++i) {
+            std::string tok = argv[i];
+            if (tok.rfind("--", 0) != 0) {
+                positional_.push_back(std::move(tok));
+                continue;
+            }
+            tok.erase(0, 2);
+            const auto eq = tok.find('=');
+            if (eq != std::string::npos) {
+                values_[tok.substr(0, eq)] = tok.substr(eq + 1);
+            } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                values_[tok] = argv[++i];
+            } else {
+                values_[tok] = "";  // bare flag
+            }
+        }
+    }
+
+    const std::string& program() const noexcept { return program_; }
+    const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+    bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+    std::string get_string(const std::string& key, const std::string& fallback) const {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+        const auto it = values_.find(key);
+        if (it == values_.end()) return fallback;
+        std::istringstream is(it->second);
+        std::int64_t v = 0;
+        DYNAMO_REQUIRE(static_cast<bool>(is >> v), "--" + key + " expects an integer, got '" + it->second + "'");
+        return v;
+    }
+
+    double get_double(const std::string& key, double fallback) const {
+        const auto it = values_.find(key);
+        if (it == values_.end()) return fallback;
+        std::istringstream is(it->second);
+        double v = 0;
+        DYNAMO_REQUIRE(static_cast<bool>(is >> v), "--" + key + " expects a number, got '" + it->second + "'");
+        return v;
+    }
+
+    bool get_flag(const std::string& key) const { return has(key); }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace dynamo

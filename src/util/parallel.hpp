@@ -1,0 +1,143 @@
+// dynamo/util/parallel.hpp
+//
+// Minimal shared-memory data-parallel runtime: a fixed thread pool plus a
+// blocking parallel_for with static contiguous partitioning.
+//
+// Design notes (HPC guides: explicit decomposition, deterministic results):
+//  * One simulation round is a pure map over vertices; we split the index
+//    space into one contiguous block per worker - the shared-memory analogue
+//    of an MPI rank's subdomain. Writes are disjoint, so no synchronization
+//    is needed beyond the final join barrier.
+//  * parallel_for is *blocking* and re-entrant-free by design: callers own
+//    the pool and the call returns only when every block finished, so a
+//    double-buffered engine can swap buffers immediately after.
+//  * grain control: callers pass a minimum block size; when the range is
+//    small the loop runs inline on the calling thread (avoids waking threads
+//    for 25-cell toy grids, which the paper's examples mostly are).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dynamo {
+
+/// Fixed-size worker pool executing void() jobs. Exceptions thrown by jobs
+/// are captured and rethrown on wait() so callers see failures.
+class ThreadPool {
+  public:
+    explicit ThreadPool(unsigned num_threads = default_threads()) {
+        DYNAMO_REQUIRE(num_threads >= 1, "thread pool needs at least one worker");
+        workers_.reserve(num_threads);
+        for (unsigned i = 0; i < num_threads; ++i) {
+            workers_.emplace_back([this] { worker_loop(); });
+        }
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool() {
+        {
+            std::unique_lock lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto& w : workers_) w.join();
+    }
+
+    unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+    /// Enqueue a job. Jobs submitted between wait() calls form one batch.
+    void submit(std::function<void()> job) {
+        {
+            std::unique_lock lock(mutex_);
+            jobs_.push(std::move(job));
+            ++pending_;
+        }
+        cv_.notify_one();
+    }
+
+    /// Block until all submitted jobs completed; rethrows the first captured
+    /// job exception, if any.
+    void wait() {
+        std::unique_lock lock(mutex_);
+        done_cv_.wait(lock, [this] { return pending_ == 0; });
+        if (first_error_) {
+            std::exception_ptr e = std::exchange(first_error_, nullptr);
+            std::rethrow_exception(e);
+        }
+    }
+
+    static unsigned default_threads() noexcept {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1u : hw;
+    }
+
+  private:
+    void worker_loop() {
+        for (;;) {
+            std::function<void()> job;
+            {
+                std::unique_lock lock(mutex_);
+                cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+                if (stopping_ && jobs_.empty()) return;
+                job = std::move(jobs_.front());
+                jobs_.pop();
+            }
+            try {
+                job();
+            } catch (...) {
+                std::unique_lock lock(mutex_);
+                if (!first_error_) first_error_ = std::current_exception();
+            }
+            {
+                std::unique_lock lock(mutex_);
+                if (--pending_ == 0) done_cv_.notify_all();
+            }
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> jobs_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    std::size_t pending_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr first_error_;
+};
+
+/// Execute body(begin, end) over [0, n) split into contiguous blocks, one per
+/// pool worker. Runs inline when n < min_grain or pool is null/single-thread.
+/// body must be safe to invoke concurrently on disjoint ranges.
+template <typename Body>
+void parallel_for_blocks(ThreadPool* pool, std::size_t n, std::size_t min_grain,
+                         const Body& body) {
+    if (n == 0) return;
+    const unsigned workers = pool ? pool->size() : 1u;
+    if (workers <= 1 || n < min_grain * 2) {
+        body(std::size_t{0}, n);
+        return;
+    }
+    std::size_t blocks = workers;
+    if (n / blocks < min_grain) blocks = std::max<std::size_t>(1, n / min_grain);
+    const std::size_t chunk = (n + blocks - 1) / blocks;
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t lo = b * chunk;
+        const std::size_t hi = std::min(n, lo + chunk);
+        if (lo >= hi) break;
+        pool->submit([lo, hi, &body] { body(lo, hi); });
+    }
+    pool->wait();
+}
+
+} // namespace dynamo

@@ -1,0 +1,30 @@
+// dynamo/util/timer.hpp
+//
+// Wall-clock stopwatch used by the experiment harnesses to report runtimes
+// alongside every regenerated table (the paper reports round counts, not
+// wall time, but the bench binaries print both for transparency).
+#pragma once
+
+#include <chrono>
+
+namespace dynamo {
+
+class Stopwatch {
+  public:
+    Stopwatch() noexcept : start_(clock::now()) {}
+
+    void reset() noexcept { start_ = clock::now(); }
+
+    /// Elapsed seconds since construction or last reset().
+    double seconds() const noexcept {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    double millis() const noexcept { return seconds() * 1e3; }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace dynamo

@@ -1,0 +1,124 @@
+// Analysis helpers: census/entropy, descriptive statistics, and the
+// Monte-Carlo density harness (determinism, accounting, boundary
+// densities).
+#include <gtest/gtest.h>
+
+#include "analysis/census.hpp"
+#include "analysis/montecarlo.hpp"
+#include "analysis/stats.hpp"
+#include "grid/torus.hpp"
+
+namespace dynamo::analysis {
+namespace {
+
+using grid::Topology;
+using grid::Torus;
+
+TEST(Census, CountsAndDominant) {
+    const ColorField f{1, 2, 2, 3, 2, 1};
+    const ColorCensus c = census(f);
+    EXPECT_EQ(c.total, 6u);
+    EXPECT_EQ(c.of(1), 2u);
+    EXPECT_EQ(c.of(2), 3u);
+    EXPECT_EQ(c.of(3), 1u);
+    EXPECT_EQ(c.dominant(), 2);
+}
+
+TEST(Census, EntropyZeroIffMonochromatic) {
+    EXPECT_DOUBLE_EQ(census(ColorField(10, 4)).entropy_bits(), 0.0);
+    const ColorField half{1, 1, 2, 2};
+    EXPECT_NEAR(census(half).entropy_bits(), 1.0, 1e-12);
+}
+
+TEST(Stats, SummaryBasics) {
+    const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_NEAR(s.stddev, 1.2909944487, 1e-9);
+}
+
+TEST(Stats, SummaryOfEmptyAndSingleton) {
+    EXPECT_EQ(summarize({}).count, 0u);
+    const Summary s = summarize({5.0});
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, Quantiles) {
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+    EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, WilsonHalfwidthShrinksWithTrials) {
+    const double w100 = wilson_halfwidth(50, 100);
+    const double w10000 = wilson_halfwidth(5000, 10000);
+    EXPECT_GT(w100, w10000);
+    EXPECT_GT(w100, 0.0);
+    EXPECT_EQ(wilson_halfwidth(0, 0), 0.0);
+}
+
+TEST(MonteCarlo, RandomColoringRespectsDensityBounds) {
+    Xoshiro256 rng(17);
+    const ColorField all_k = random_coloring(500, 2, 4, 1.0, rng);
+    EXPECT_EQ(count_color(all_k, 2), 500u);
+    const ColorField none_k = random_coloring(500, 2, 4, 0.0, rng);
+    EXPECT_EQ(count_color(none_k, 2), 0u);
+    for (const Color c : none_k) {
+        EXPECT_NE(c, 2);
+        EXPECT_GE(c, 1);
+        EXPECT_LE(c, 4);
+    }
+}
+
+TEST(MonteCarlo, RandomColoringDensityIsUnbiased) {
+    Xoshiro256 rng(23);
+    const ColorField f = random_coloring(20000, 1, 4, 0.3, rng);
+    const double frac = static_cast<double>(count_color(f, 1)) / 20000.0;
+    EXPECT_NEAR(frac, 0.3, 0.02);
+}
+
+TEST(MonteCarlo, DensityPointAccountingAddsUp) {
+    Torus t(Topology::ToroidalMesh, 6, 6);
+    Xoshiro256 rng(31);
+    const DensityPoint p = run_density_point(t, 1, 0.4, 4, 50, rng);
+    EXPECT_EQ(p.trials, 50u);
+    EXPECT_LE(p.k_mono + p.other_mono + p.cycles + p.fixed_points, p.trials);
+    EXPECT_GE(p.mean_final_k_fraction, 0.0);
+    EXPECT_LE(p.mean_final_k_fraction, 1.0);
+    EXPECT_GE(p.p_k_mono(), 0.0);
+    EXPECT_LE(p.p_k_mono(), 1.0);
+}
+
+TEST(MonteCarlo, ExtremeDensitiesBehaveAsExpected) {
+    Torus t(Topology::ToroidalMesh, 6, 6);
+    Xoshiro256 rng(37);
+    // Density 1: the initial field is already k-monochromatic.
+    const DensityPoint high = run_density_point(t, 1, 1.0, 4, 10, rng);
+    EXPECT_EQ(high.k_mono, 10u);
+    EXPECT_DOUBLE_EQ(high.p_k_mono(), 1.0);
+    // Density 0: k never appears (it cannot be created from nothing).
+    const DensityPoint low = run_density_point(t, 1, 0.0, 4, 10, rng);
+    EXPECT_EQ(low.k_mono, 0u);
+}
+
+TEST(MonteCarlo, SweepIsDeterministicPerSeed) {
+    Torus t(Topology::TorusCordalis, 5, 5);
+    const std::vector<double> densities{0.2, 0.5};
+    const auto a = run_density_sweep(t, 1, densities, 4, 30, 101);
+    const auto b = run_density_sweep(t, 1, densities, 4, 30, 101);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].k_mono, b[i].k_mono);
+        EXPECT_EQ(a[i].cycles, b[i].cycles);
+        EXPECT_DOUBLE_EQ(a[i].mean_final_k_fraction, b[i].mean_final_k_fraction);
+    }
+}
+
+} // namespace
+} // namespace dynamo::analysis

@@ -1,0 +1,140 @@
+// Theorem 2/4/6 condition validator: forest checking per color class and
+// the pairwise-distinct foreign-neighbor requirement, including the
+// paper's "cannot be relaxed" counterexamples.
+#include <gtest/gtest.h>
+
+#include "core/builders.hpp"
+#include "core/conditions.hpp"
+
+namespace dynamo {
+namespace {
+
+using grid::Topology;
+using grid::Torus;
+
+TEST(ForestCheck, PathIsAForest) {
+    Torus t(Topology::ToroidalMesh, 5, 5);
+    ColorField f(t.size(), 2);
+    // A 3-vertex path of color 1 inside a sea of 2.
+    f[t.index(1, 1)] = f[t.index(1, 2)] = f[t.index(1, 3)] = 1;
+    EXPECT_TRUE(color_class_is_forest(t, f, 1));
+}
+
+TEST(ForestCheck, SquareCycleIsNotAForest) {
+    Torus t(Topology::ToroidalMesh, 5, 5);
+    ColorField f(t.size(), 2);
+    f[t.index(1, 1)] = f[t.index(1, 2)] = f[t.index(2, 1)] = f[t.index(2, 2)] = 1;
+    EXPECT_FALSE(color_class_is_forest(t, f, 1));
+}
+
+TEST(ForestCheck, WrappedColumnIsACycleInMesh) {
+    Torus t(Topology::ToroidalMesh, 5, 5);
+    ColorField f(t.size(), 2);
+    for (std::uint32_t i = 0; i < 5; ++i) f[t.index(i, 2)] = 1;
+    EXPECT_FALSE(color_class_is_forest(t, f, 1));
+}
+
+TEST(ForestCheck, WrappedColumnIsAPathInSerpentinus) {
+    // The serpentine vertical links leave the column at its ends, so a
+    // single column does not close a cycle.
+    Torus t(Topology::TorusSerpentinus, 5, 5);
+    ColorField f(t.size(), 2);
+    for (std::uint32_t i = 0; i < 5; ++i) f[t.index(i, 2)] = 1;
+    EXPECT_TRUE(color_class_is_forest(t, f, 1));
+}
+
+TEST(ForestCheck, TwoDisjointTreesAreAForest) {
+    Torus t(Topology::ToroidalMesh, 6, 6);
+    ColorField f(t.size(), 2);
+    f[t.index(0, 0)] = f[t.index(0, 1)] = 1;
+    f[t.index(4, 4)] = f[t.index(3, 4)] = f[t.index(4, 3)] = 1;
+    EXPECT_TRUE(color_class_is_forest(t, f, 1));
+}
+
+TEST(ForestCheck, ParallelEdgesOnDegenerateTorusAreACycle) {
+    // m = 2: two vertically adjacent same-colored vertices are joined by
+    // two parallel slots - a multigraph 2-cycle, not a tree.
+    Torus t(Topology::ToroidalMesh, 2, 5);
+    ColorField f(t.size(), 2);
+    f[t.index(0, 2)] = f[t.index(1, 2)] = 1;
+    EXPECT_FALSE(color_class_is_forest(t, f, 1));
+}
+
+TEST(Conditions, HoldForAllBuiltConfigurations) {
+    for (std::uint32_t m = 3; m <= 9; ++m) {
+        for (std::uint32_t n = 3; n <= 9; ++n) {
+            {
+                Torus t(Topology::ToroidalMesh, m, n);
+                const Configuration cfg = build_theorem2_configuration(t);
+                const ConditionReport rep = check_theorem_conditions(t, cfg.field, cfg.k);
+                EXPECT_TRUE(rep.ok()) << "mesh " << m << "x" << n << ": " << rep.violation;
+            }
+            {
+                Torus t(Topology::TorusCordalis, m, n);
+                const Configuration cfg = build_theorem4_configuration(t);
+                const ConditionReport rep = check_theorem_conditions(t, cfg.field, cfg.k);
+                EXPECT_TRUE(rep.ok()) << "cordalis " << m << "x" << n << ": " << rep.violation;
+            }
+            {
+                Torus t(Topology::TorusSerpentinus, m, n);
+                const Configuration cfg = build_theorem6_configuration(t);
+                const ConditionReport rep = check_theorem_conditions(t, cfg.field, cfg.k);
+                EXPECT_TRUE(rep.ok()) << "serpentinus " << m << "x" << n << ": "
+                                      << rep.violation;
+            }
+        }
+    }
+}
+
+TEST(Conditions, DetectForeignColorDuplicates) {
+    Torus t(Topology::ToroidalMesh, 6, 6);
+    Configuration cfg = build_theorem2_configuration(t);
+    // Force a duplicate foreign pair around an interior vertex: make both
+    // vertical neighbors of (3,3) the same color different from (3,3)'s.
+    const Color own = cfg.field[t.index(3, 3)];
+    Color foreign = 2;
+    while (foreign == own || foreign == cfg.k) ++foreign;
+    cfg.field[t.index(2, 3)] = foreign;
+    cfg.field[t.index(4, 3)] = foreign;
+    const ConditionReport rep = check_theorem_conditions(t, cfg.field, cfg.k);
+    EXPECT_FALSE(rep.distinct_ok);
+    EXPECT_FALSE(rep.violation.empty());
+}
+
+TEST(Conditions, DetectClassCycles) {
+    Torus t(Topology::ToroidalMesh, 6, 6);
+    Configuration cfg = build_theorem2_configuration(t);
+    // A 2x2 square of one foreign color is both a cycle and a block.
+    const Color hostile = cfg.field[t.index(3, 1)];
+    cfg.field[t.index(3, 3)] = cfg.field[t.index(3, 4)] = hostile;
+    cfg.field[t.index(4, 3)] = cfg.field[t.index(4, 4)] = hostile;
+    const ConditionReport rep = check_theorem_conditions(t, cfg.field, cfg.k);
+    EXPECT_FALSE(rep.ok());
+}
+
+TEST(Conditions, Fig3BlockedConfigurationViolatesThem) {
+    Torus t(Topology::ToroidalMesh, 8, 8);
+    const Configuration cfg = build_fig3_blocked_configuration(t);
+    const ConditionReport rep = check_theorem_conditions(t, cfg.field, cfg.k);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_FALSE(rep.violation.empty());
+}
+
+TEST(Conditions, SeedColorClassIsExempt) {
+    // Condition (1) applies to non-seed classes only; the seed cross itself
+    // may contain cycles (a full column wraps).
+    Torus t(Topology::ToroidalMesh, 6, 6);
+    const Configuration cfg = build_full_cross_configuration(t);
+    EXPECT_FALSE(color_class_is_forest(t, cfg.field, cfg.k));  // the cross wraps
+    EXPECT_TRUE(check_theorem_conditions(t, cfg.field, cfg.k).ok());
+}
+
+TEST(Conditions, RejectIncompleteFields) {
+    Torus t(Topology::ToroidalMesh, 4, 4);
+    ColorField f(t.size(), 1);
+    f[5] = kUnset;
+    EXPECT_THROW(check_theorem_conditions(t, f, 1), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dynamo

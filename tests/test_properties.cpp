@@ -1,0 +1,174 @@
+// Metamorphic properties of the SMP-Protocol - invariances that must hold
+// for ANY correct implementation, checked on randomized instances:
+//
+//   * color-permutation equivariance: relabel colors by any permutation
+//     pi, simulate, and the trace is the pi-image of the original;
+//   * translation equivariance: the torus has no distinguished origin, so
+//     shifting the initial field shifts the whole evolution;
+//   * idempotence of terminal states: re-running from a fixed point
+//     changes nothing;
+//   * Lemma 3's block-size bounds on randomly grown blocks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/blocks.hpp"
+#include "core/builders.hpp"
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+
+namespace dynamo {
+namespace {
+
+using grid::Topology;
+using grid::Torus;
+
+ColorField random_field(const Torus& t, Color colors, Xoshiro256& rng) {
+    ColorField f(t.size());
+    for (auto& c : f) c = static_cast<Color>(1 + rng.below(colors));
+    return f;
+}
+
+TEST(Metamorphic, ColorPermutationEquivariance) {
+    Xoshiro256 rng(0x9e4);
+    for (const Topology topo :
+         {Topology::ToroidalMesh, Topology::TorusCordalis, Topology::TorusSerpentinus}) {
+        for (int trial = 0; trial < 8; ++trial) {
+            Torus t(topo, 8, 7);
+            const ColorField f = random_field(t, 5, rng);
+
+            // Random permutation pi of {1..5}.
+            std::array<Color, 6> pi{};
+            std::iota(pi.begin() + 1, pi.end(), 1);
+            for (std::size_t i = 5; i > 1; --i) {
+                std::swap(pi[i], pi[1 + rng.below(i)]);
+            }
+            ColorField g(f.size());
+            for (std::size_t v = 0; v < f.size(); ++v) g[v] = pi[f[v]];
+
+            SimulationOptions opts;
+            opts.max_rounds = 50;
+            const Trace ta = simulate(t, f, opts);
+            const Trace tb = simulate(t, g, opts);
+            ASSERT_EQ(ta.rounds, tb.rounds) << to_string(topo) << ' ' << trial;
+            ASSERT_EQ(ta.termination, tb.termination) << to_string(topo) << ' ' << trial;
+            for (std::size_t v = 0; v < f.size(); ++v) {
+                ASSERT_EQ(pi[ta.final_colors[v]], tb.final_colors[v])
+                    << to_string(topo) << ' ' << trial << " vertex " << v;
+            }
+        }
+    }
+}
+
+TEST(Metamorphic, TranslationEquivarianceOnTheMesh) {
+    // The toroidal mesh is vertex-transitive under all translations.
+    Xoshiro256 rng(0x7a5);
+    Torus t(Topology::ToroidalMesh, 8, 8);
+    for (int trial = 0; trial < 8; ++trial) {
+        const ColorField f = random_field(t, 4, rng);
+        const std::uint32_t di = static_cast<std::uint32_t>(rng.below(8));
+        const std::uint32_t dj = static_cast<std::uint32_t>(rng.below(8));
+        ColorField g(f.size());
+        for (std::uint32_t i = 0; i < 8; ++i) {
+            for (std::uint32_t j = 0; j < 8; ++j) {
+                g[t.index((i + di) % 8, (j + dj) % 8)] = f[t.index(i, j)];
+            }
+        }
+        SimulationOptions opts;
+        opts.max_rounds = 40;
+        const Trace ta = simulate(t, f, opts);
+        const Trace tb = simulate(t, g, opts);
+        ASSERT_EQ(ta.rounds, tb.rounds) << trial;
+        for (std::uint32_t i = 0; i < 8; ++i) {
+            for (std::uint32_t j = 0; j < 8; ++j) {
+                ASSERT_EQ(ta.final_colors[t.index(i, j)],
+                          tb.final_colors[t.index((i + di) % 8, (j + dj) % 8)])
+                    << trial << ' ' << i << ',' << j;
+            }
+        }
+    }
+}
+
+TEST(Metamorphic, RowTranslationEquivarianceOnTheCordalis) {
+    // The cordalis spiral is invariant under whole-row shifts (i -> i+d).
+    Xoshiro256 rng(0xc0d);
+    Torus t(Topology::TorusCordalis, 7, 6);
+    for (int trial = 0; trial < 8; ++trial) {
+        const ColorField f = random_field(t, 4, rng);
+        const std::uint32_t di = 1 + static_cast<std::uint32_t>(rng.below(6));
+        ColorField g(f.size());
+        for (std::uint32_t i = 0; i < 7; ++i) {
+            for (std::uint32_t j = 0; j < 6; ++j) {
+                g[t.index((i + di) % 7, j)] = f[t.index(i, j)];
+            }
+        }
+        SimulationOptions opts;
+        opts.max_rounds = 40;
+        const Trace ta = simulate(t, f, opts);
+        const Trace tb = simulate(t, g, opts);
+        ASSERT_EQ(ta.rounds, tb.rounds) << trial;
+        ASSERT_EQ(ta.termination, tb.termination) << trial;
+    }
+}
+
+TEST(Metamorphic, TerminalStatesAreIdempotent) {
+    Xoshiro256 rng(0x1de);
+    for (int trial = 0; trial < 10; ++trial) {
+        Torus t(Topology::ToroidalMesh, 7, 7);
+        SimulationOptions opts;
+        opts.max_rounds = 60;
+        const Trace first = simulate(t, random_field(t, 3, rng), opts);
+        if (first.termination != Termination::FixedPoint &&
+            first.termination != Termination::Monochromatic) {
+            continue;  // cycles are terminal but not fixed
+        }
+        const Trace again = simulate(t, first.final_colors, opts);
+        EXPECT_EQ(again.rounds, 0u) << trial;
+        EXPECT_EQ(again.final_colors, first.final_colors) << trial;
+    }
+}
+
+TEST(Lemma3, BlockSizeLowerBounds) {
+    // Lemma 3: a k-block B on an m x n mesh has |B| >= m_B + n_B when its
+    // bounding box is proper, and |B| >= m_B + n_B - 1 when it spans a
+    // full dimension. Verify on randomly grown valid blocks.
+    Xoshiro256 rng(0x1e3);
+    Torus t(Topology::ToroidalMesh, 9, 9);
+    for (int trial = 0; trial < 60; ++trial) {
+        // Grow a random rectangle-ish union of 2x2 squares: always a block.
+        ColorField f(t.size(), 2);
+        const int squares = 1 + static_cast<int>(rng.below(4));
+        for (int s = 0; s < squares; ++s) {
+            const auto bi = static_cast<std::uint32_t>(rng.below(8));
+            const auto bj = static_cast<std::uint32_t>(rng.below(8));
+            for (std::uint32_t di = 0; di < 2; ++di)
+                for (std::uint32_t dj = 0; dj < 2; ++dj)
+                    f[t.index((bi + di) % 9, (bj + dj) % 9)] = 1;
+        }
+        for (const auto& block : find_k_blocks(t, f, 1)) {
+            const BoundingBox box = bounding_box(t, block);
+            const std::uint32_t bound = (box.rows >= t.rows() || box.cols >= t.cols())
+                                            ? box.rows + box.cols - 1
+                                            : box.rows + box.cols;
+            EXPECT_GE(block.size(), bound)
+                << trial << ": block of " << block.size() << " in box " << box.rows << "x"
+                << box.cols;
+        }
+    }
+}
+
+TEST(Lemma3, ColumnAndCrossExamples) {
+    Torus t(Topology::ToroidalMesh, 6, 8);
+    // A full column: box 6x1, spans m -> bound m_B + n_B - 1 = 6. Size 6.
+    ColorField col(t.size(), 2);
+    for (std::uint32_t i = 0; i < 6; ++i) col[t.index(i, 2)] = 1;
+    const auto blocks = find_k_blocks(t, col, 1);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].size(), 6u);
+    const BoundingBox box = bounding_box(t, blocks[0]);
+    EXPECT_EQ(box.rows + box.cols - 1, 6u);
+}
+
+} // namespace
+} // namespace dynamo

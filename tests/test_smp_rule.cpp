@@ -1,0 +1,112 @@
+// SMP rule semantics (paper Algorithm 1): exhaustive agreement with an
+// independently coded oracle over every 4-neighbor color assignment, plus
+// the specific cases the paper calls out (the 2+2 ambiguity resolution
+// that distinguishes SMP from [15]'s Prefer-Black, own-color irrelevance).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/smp_rule.hpp"
+
+namespace dynamo {
+namespace {
+
+/// Straight-from-the-text oracle: exists a labeling a,b,c,d of N(x) with
+/// (r(a)=r(b) and r(c)!=r(d)) or all four equal - then recolor to r(a) -
+/// with the paper's clarification that 2+2 does not recolor. Implemented
+/// as multiset case analysis, independent of smp_decide's counting trick.
+Color oracle(Color own, std::array<Color, 4> nbr) {
+    std::map<Color, int> mult;
+    for (const Color c : nbr) ++mult[c];
+    // (4): all equal
+    if (mult.size() == 1) return nbr[0];
+    // Find colors with multiplicity >= 2.
+    Color pair_color = 0;
+    int pairs = 0;
+    for (const auto& [c, m] : mult) {
+        if (m >= 2) {
+            ++pairs;
+            pair_color = c;
+        }
+    }
+    if (pairs == 1) {
+        // (3,1) or (2,1,1): the remaining two neighbors (for some labeling
+        // a=b=pair) have different colors.
+        //  - (3,1): remaining = {pair, other}, different. Adopt.
+        //  - (2,1,1): remaining = two distinct singletons. Adopt.
+        //  - (2,2) excluded here (pairs == 2).
+        return pair_color;
+    }
+    // (2,2) two pairs -> ambiguous, keep; (1,1,1,1) no pair -> keep.
+    return own;
+}
+
+TEST(SmpRule, ExhaustiveAgreementWithOracleFiveColors) {
+    // 5 colors x 5^4 neighborhoods x 5 own-colors = 15625 cases.
+    for (Color own = 1; own <= 5; ++own) {
+        for (Color a = 1; a <= 5; ++a)
+            for (Color b = 1; b <= 5; ++b)
+                for (Color c = 1; c <= 5; ++c)
+                    for (Color d = 1; d <= 5; ++d) {
+                        const std::array<Color, 4> nbr{a, b, c, d};
+                        ASSERT_EQ(smp_update(own, nbr), oracle(own, nbr))
+                            << "own=" << int(own) << " nbr=" << int(a) << int(b) << int(c)
+                            << int(d);
+                    }
+    }
+}
+
+TEST(SmpRule, AllFourEqualAdopts) {
+    EXPECT_EQ(smp_update(1, {2, 2, 2, 2}), 2);
+    EXPECT_EQ(smp_decide(1, {2, 2, 2, 2}).outcome, SmpOutcome::Adopt);
+}
+
+TEST(SmpRule, ThreeOneAdoptsMajority) {
+    EXPECT_EQ(smp_update(1, {2, 2, 2, 5}), 2);
+    EXPECT_EQ(smp_update(9, {7, 3, 7, 7}), 7);
+}
+
+TEST(SmpRule, PairPlusTwoDistinctAdoptsPair) {
+    EXPECT_EQ(smp_update(1, {2, 2, 3, 4}), 2);
+    EXPECT_EQ(smp_update(1, {3, 2, 4, 2}), 2);  // slot order irrelevant
+}
+
+TEST(SmpRule, TwoTwoTieKeepsCurrentColor) {
+    // The paper, Section I: "in [15] if in the neighborhood of a node v
+    // there are two black and two white nodes, v recolors black, whereas in
+    // our case the node does not change color."
+    EXPECT_EQ(smp_update(1, {2, 2, 3, 3}), 1);
+    EXPECT_EQ(smp_update(3, {2, 3, 2, 3}), 3);
+    EXPECT_EQ(smp_decide(1, {2, 3, 3, 2}).outcome, SmpOutcome::TiePairs);
+}
+
+TEST(SmpRule, AllDistinctKeepsCurrentColor) {
+    EXPECT_EQ(smp_update(7, {1, 2, 3, 4}), 7);
+    EXPECT_EQ(smp_decide(7, {1, 2, 3, 4}).outcome, SmpOutcome::NoPlurality);
+}
+
+TEST(SmpRule, OwnColorDoesNotGateAdoption) {
+    // A vertex already holding the plurality color "re-adopts" it (no-op)...
+    EXPECT_EQ(smp_update(2, {2, 2, 3, 4}), 2);
+    // ...and a vertex holding any color can be pulled away (non-monotone rule).
+    EXPECT_EQ(smp_update(5, {2, 2, 3, 4}), 2);
+}
+
+TEST(SmpRule, PairWithOwnColorSingletonsStillAdopts) {
+    // Neighbor multiset (2,1,1) where one singleton equals own color.
+    EXPECT_EQ(smp_update(3, {2, 2, 3, 4}), 2);
+}
+
+TEST(SmpRule, GatherNeighborsReadsSlotOrder) {
+    grid::Torus t(grid::Topology::ToroidalMesh, 3, 3);
+    ColorField field(9);
+    for (grid::VertexId v = 0; v < 9; ++v) field[v] = static_cast<Color>(v + 1);
+    const auto nbr = gather_neighbors(t, field, t.index(1, 1));
+    EXPECT_EQ(nbr[0], field[t.index(0, 1)]);  // Up
+    EXPECT_EQ(nbr[1], field[t.index(2, 1)]);  // Down
+    EXPECT_EQ(nbr[2], field[t.index(1, 0)]);  // Left
+    EXPECT_EQ(nbr[3], field[t.index(1, 2)]);  // Right
+}
+
+} // namespace
+} // namespace dynamo

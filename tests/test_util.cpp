@@ -1,0 +1,211 @@
+// Unit tests for util/: RNG determinism and statistics, thread pool
+// semantics, parallel_for partitioning, CLI parsing, table formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace dynamo {
+namespace {
+
+TEST(Assertions, RequireThrowsInvalidArgument) {
+    EXPECT_THROW(DYNAMO_REQUIRE(false, "boom"), std::invalid_argument);
+    EXPECT_NO_THROW(DYNAMO_REQUIRE(true, "fine"));
+}
+
+TEST(Assertions, EnsureThrowsLogicError) {
+    EXPECT_THROW(DYNAMO_ENSURE(false, "boom"), std::logic_error);
+}
+
+TEST(Assertions, MessageContainsContext) {
+    try {
+        DYNAMO_REQUIRE(1 == 2, "one is not two");
+        FAIL() << "should have thrown";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("one is not two"), std::string::npos);
+        EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    }
+}
+
+TEST(SplitMix64, DeterministicStream) {
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+    SplitMix64 a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, DeterministicStream) {
+    Xoshiro256 a(7), b(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+    Xoshiro256 rng(123);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Xoshiro256, BelowCoversAllResidues) {
+    Xoshiro256 rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 400; ++i) seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+    Xoshiro256 rng(9);
+    double sum = 0.0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, ForkProducesIndependentStream) {
+    Xoshiro256 parent(11);
+    Xoshiro256 child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += (parent.next() == child.next());
+    EXPECT_LE(equal, 1);
+}
+
+TEST(DeterministicShuffle, IsAPermutationAndReproducible) {
+    std::vector<int> xs(50);
+    std::iota(xs.begin(), xs.end(), 0);
+    std::vector<int> ys = xs;
+    Xoshiro256 r1(3), r2(3);
+    deterministic_shuffle(xs.begin(), xs.end(), r1);
+    deterministic_shuffle(ys.begin(), ys.end(), r2);
+    EXPECT_EQ(xs, ys);
+    std::vector<int> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(ThreadPool, ExecutesAllJobs) {
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i) pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesJobExceptions) {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("job failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The pool must stay usable after a failed batch.
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) { EXPECT_THROW(ThreadPool(0), std::invalid_argument); }
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for_blocks(&pool, hits.size(), 16, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, RunsInlineForSmallRanges) {
+    // No pool: must still execute the whole range on the caller thread.
+    std::vector<int> hits(10, 0);
+    parallel_for_blocks(nullptr, hits.size(), 1 << 20, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+    });
+    for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+    ThreadPool pool(2);
+    bool called = false;
+    parallel_for_blocks(&pool, 0, 1, [&](std::size_t, std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(CliArgs, ParsesKeyValueForms) {
+    // Note: a bare flag followed by a non-option token would consume it as
+    // a value ("--flag pos1" means flag=pos1), so flags go last.
+    const char* argv[] = {"prog", "--alpha=3", "--beta", "4", "pos1", "--flag"};
+    CliArgs args(6, argv);
+    EXPECT_EQ(args.get_int("alpha", 0), 3);
+    EXPECT_EQ(args.get_int("beta", 0), 4);
+    EXPECT_TRUE(args.get_flag("flag"));
+    EXPECT_FALSE(args.get_flag("missing"));
+    EXPECT_EQ(args.get_int("missing", 7), 7);
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(CliArgs, ParsesDoublesAndStrings) {
+    const char* argv[] = {"prog", "--rho=0.25", "--name=mesh"};
+    CliArgs args(3, argv);
+    EXPECT_DOUBLE_EQ(args.get_double("rho", 0.0), 0.25);
+    EXPECT_EQ(args.get_string("name", ""), "mesh");
+}
+
+TEST(CliArgs, RejectsMalformedNumbers) {
+    const char* argv[] = {"prog", "--alpha=xyz"};
+    CliArgs args(2, argv);
+    EXPECT_THROW(args.get_int("alpha", 0), std::invalid_argument);
+}
+
+TEST(ConsoleTable, AlignsAndCounts) {
+    ConsoleTable table({"m", "n", "rounds"});
+    table.add_row(5, 5, 8);
+    table.add_row(10, 10, 32);
+    EXPECT_EQ(table.rows(), 2u);
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("rounds"), std::string::npos);
+    EXPECT_NE(out.find("32"), std::string::npos);
+}
+
+TEST(ConsoleTable, RejectsArityMismatch) {
+    ConsoleTable table({"a", "b"});
+    EXPECT_THROW(table.add_row(1), std::invalid_argument);
+}
+
+TEST(ConsoleTable, CsvRoundTrip) {
+    ConsoleTable table({"a", "b"});
+    table.add_row(1, "x");
+    EXPECT_EQ(table.to_csv(), "a,b\n1,x\n");
+}
+
+TEST(Stopwatch, TimeAdvances) {
+    Stopwatch sw;
+    double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink += i;
+    (void)sink;
+    EXPECT_GE(sw.seconds(), 0.0);
+    EXPECT_GE(sw.millis(), 0.0);
+}
+
+} // namespace
+} // namespace dynamo
