@@ -1,8 +1,19 @@
 // PERF: google-benchmark microbenchmarks of the simulation substrate -
 // rule decision cost, engine step throughput (cells/second) per topology
-// and size, serial vs thread-pool sweeps, and the cost of trace
-// bookkeeping. These quantify the claims in DESIGN.md section 5.
+// and size, packed stencil sweep vs the seed table-driven sweep, serial vs
+// thread-pool sweeps, and the cost of trace bookkeeping.
+//
+// Besides the google-benchmark suite, `--json-report FILE` runs a focused
+// packed-vs-seed comparison (with a lockstep bit-identity check) and
+// writes a machine-readable BENCH_*.json record; CI runs it on a small
+// grid every push and the committed BENCH_perf_engine.json captures the
+// 1024x1024 speedup this PR claims.
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/blocks.hpp"
 #include "core/builders.hpp"
@@ -10,7 +21,9 @@
 #include "core/frontier_engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/plurality.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -49,6 +62,23 @@ void BM_EngineStep(benchmark::State& state) {
                             static_cast<std::int64_t>(torus.size()));
 }
 BENCHMARK(BM_EngineStep)
+    ->ArgsProduct({{64, 256, 1024}, {0, 1, 2}})
+    ->ArgNames({"side", "topo"});
+
+void BM_SeedEngineStep(benchmark::State& state) {
+    // The seed table-driven sweep (ReferenceSmpRule bypasses the packed
+    // fast path): the baseline BM_EngineStep is compared against.
+    const auto side = static_cast<std::uint32_t>(state.range(0));
+    const auto topo = static_cast<grid::Topology>(state.range(1));
+    grid::Torus torus(topo, side, side);
+    BasicSyncEngine<ReferenceSmpRule> engine(torus, random_field(torus.size(), 4, 42));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.step());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(torus.size()));
+}
+BENCHMARK(BM_SeedEngineStep)
     ->ArgsProduct({{64, 256, 1024}, {0, 1, 2}})
     ->ArgNames({"side", "topo"});
 
@@ -135,6 +165,100 @@ void BM_BlocksExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_BlocksExtraction);
 
+// --- JSON speedup reporter --------------------------------------------------
+
+/// Steps/second of `engine` over `rounds` rounds after `warmup` rounds.
+template <typename Engine>
+double measure_cells_per_sec(Engine& engine, ThreadPool* pool, std::size_t grain, int warmup,
+                             int rounds) {
+    for (int r = 0; r < warmup; ++r) engine.step(pool, grain);
+    Stopwatch watch;
+    for (int r = 0; r < rounds; ++r) engine.step(pool, grain);
+    const double cells = static_cast<double>(engine.torus().size()) * rounds;
+    return cells / watch.seconds();
+}
+
+/// Lockstep bit-identity check of the packed sweep vs the seed sweep.
+bool trajectories_identical(const grid::Torus& torus, const ColorField& field, int rounds) {
+    SyncEngine packed(torus, field);
+    BasicSyncEngine<ReferenceSmpRule> seed(torus, field);
+    for (int r = 0; r < rounds; ++r) {
+        if (packed.step() != seed.step() || packed.colors() != seed.colors()) return false;
+    }
+    return true;
+}
+
+int run_json_report(const CliArgs& args) {
+    const auto side = static_cast<std::uint32_t>(args.get_int("side", 1024));
+    const int rounds = static_cast<int>(args.get_int("rounds", 16));
+    const int warmup = static_cast<int>(args.get_int("warmup", 3));
+    const auto workers = static_cast<unsigned>(
+        args.get_int("workers", static_cast<std::int64_t>(ThreadPool::default_threads())));
+    std::string path = args.get_string("json-report", "");
+    if (path.empty()) path = "BENCH_perf_engine.json";  // bare --json-report flag
+    constexpr double kTargetSpeedup = 3.0;
+
+    ThreadPool pool(workers);
+    ThreadPool* smp = workers > 1 ? &pool : nullptr;
+    const std::size_t grain = 1 << 14;
+
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot open " << path << " for writing\n";
+        return 1;
+    }
+
+    bool mesh_meets_target = false;
+    double mesh_speedup = 0.0;
+    out << "{\n"
+        << "  \"bench\": \"bench_perf_engine\",\n"
+        << "  \"side\": " << side << ",\n"
+        << "  \"rounds\": " << rounds << ",\n"
+        << "  \"workers\": " << workers << ",\n"
+        << "  \"target_speedup\": " << kTargetSpeedup << ",\n"
+        << "  \"results\": [\n";
+    for (const grid::Topology topo : {grid::Topology::ToroidalMesh, grid::Topology::TorusCordalis,
+                                      grid::Topology::TorusSerpentinus}) {
+        const grid::Torus torus(topo, side, side);
+        const ColorField field = random_field(torus.size(), 4, 42);
+
+        BasicSyncEngine<ReferenceSmpRule> seed_engine(torus, field);
+        const double seed_cps = measure_cells_per_sec(seed_engine, smp, grain, warmup, rounds);
+        SyncEngine packed_engine(torus, field);
+        const double packed_cps = measure_cells_per_sec(packed_engine, smp, grain, warmup, rounds);
+        const double speedup = packed_cps / seed_cps;
+        const bool identical = trajectories_identical(torus, field, std::min(rounds, 8));
+
+        if (topo == grid::Topology::ToroidalMesh) {
+            mesh_speedup = speedup;
+            mesh_meets_target = identical && speedup >= kTargetSpeedup;
+        }
+        out << "    {\"topology\": \"" << grid::to_string(topo) << "\","
+            << " \"seed_cells_per_sec\": " << seed_cps << ","
+            << " \"packed_cells_per_sec\": " << packed_cps << ","
+            << " \"speedup\": " << speedup << ","
+            << " \"bit_identical\": " << (identical ? "true" : "false") << "}"
+            << (topo == grid::Topology::TorusSerpentinus ? "" : ",") << "\n";
+        std::cerr << grid::to_string(topo) << ": seed " << seed_cps / 1e6 << " Mcells/s, packed "
+                  << packed_cps / 1e6 << " Mcells/s, speedup " << speedup
+                  << (identical ? "" : " [TRAJECTORY MISMATCH]") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"mesh_speedup\": " << mesh_speedup << ",\n"
+        << "  \"meets_target\": " << (mesh_meets_target ? "true" : "false") << "\n"
+        << "}\n";
+    std::cerr << "wrote " << path << "\n";
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    const CliArgs args(argc, argv);
+    if (args.has("json-report")) return run_json_report(args);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -13,22 +13,26 @@
 //
 // The engine is a template over the local rule so the SMP-Protocol and the
 // bi-color majority baselines of [15] (rules/majority.hpp) share one
-// driver; the rule is inlined into the hot loop. The run driver detects
-// the three terminal behaviours of a finite deterministic system:
+// driver. The sweep itself lives in core/sim/sweep.hpp: the SMP rule takes
+// the packed-state cache-blocked stencil fast path, any other rule takes
+// the generic table-driven sweep (this class is a thin adapter over both,
+// so callers and semantics are unchanged). The run driver detects the
+// three terminal behaviours of a finite deterministic system:
 // monochromatic fixed point (the dynamo goal, Definition 2), other fixed
 // points, and limit cycles (e.g. the period-2 checkerboard flip), plus a
 // defensive round limit.
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include "core/coloring.hpp"
+#include "core/sim/sweep.hpp"
 #include "core/smp_rule.hpp"
 #include "grid/torus.hpp"
 #include "util/parallel.hpp"
@@ -104,8 +108,20 @@ struct Trace {
     }
 };
 
-/// The SMP-Protocol as an engine rule functor.
+/// The SMP-Protocol as an engine rule functor. BasicSyncEngine recognizes
+/// this exact type and routes it through the packed stencil sweep.
 struct SmpRuleFn {
+    Color operator()(Color own, const std::array<Color, grid::kDegree>& nbr) const noexcept {
+        return smp_update(own, nbr);
+    }
+};
+
+/// The SMP rule as an opaque functor type: identical semantics to
+/// SmpRuleFn, but deliberately not recognized by the fast-path dispatch,
+/// so it runs the seed table-driven sweep. This is the baseline the packed
+/// engine is oracle-tested (tests/test_sim_packed.cpp) and benchmarked
+/// (bench/bench_perf_engine.cpp) against.
+struct ReferenceSmpRule {
     Color operator()(Color own, const std::array<Color, grid::kDegree>& nbr) const noexcept {
         return smp_update(own, nbr);
     }
@@ -125,28 +141,15 @@ class BasicSyncEngine {
     /// One synchronous round; returns the number of vertices that changed
     /// color. Deterministic for any pool/grain combination.
     std::size_t step(ThreadPool* pool = nullptr, std::size_t grain = 1 << 14) {
-        const std::size_t n = cur_.size();
-        const grid::VertexId* table = torus_->table_data();
-        const Color* src = cur_.data();
-        Color* dst = next_.data();
-
-        std::atomic<std::size_t> changed{0};
-        parallel_for_blocks(pool, n, grain, [&](std::size_t lo, std::size_t hi) {
-            std::size_t local_changed = 0;
-            for (std::size_t v = lo; v < hi; ++v) {
-                const grid::VertexId* nb = table + v * grid::kDegree;
-                const std::array<Color, grid::kDegree> nbr{src[nb[0]], src[nb[1]], src[nb[2]],
-                                                           src[nb[3]]};
-                const Color out = rule_(src[v], nbr);
-                dst[v] = out;
-                local_changed += (out != src[v]);
-            }
-            changed.fetch_add(local_changed, std::memory_order_relaxed);
-        });
-
+        std::size_t changed;
+        if constexpr (std::is_same_v<Rule, SmpRuleFn>) {
+            changed = sim::smp_sweep(*torus_, cur_.data(), next_.data(), pool, grain);
+        } else {
+            changed = sim::rule_sweep(*torus_, cur_.data(), next_.data(), rule_, pool, grain);
+        }
         cur_.swap(next_);
         ++round_;
-        return changed.load(std::memory_order_relaxed);
+        return changed;
     }
 
     const ColorField& colors() const noexcept { return cur_; }

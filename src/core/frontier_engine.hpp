@@ -5,91 +5,21 @@
 // can change in this one, so the sweep shrinks from O(|V|) to O(frontier).
 // For dynamo runs the frontier is a thin wave (Theorems 7-8: O(max(m,n))
 // cells per round on an O(mn) torus), making this asymptotically faster
-// for large tori - the ablation DESIGN.md section 5 calls out, quantified
-// by bench_perf_engine.
+// for large tori - quantified by bench_perf_engine.
 //
-// Semantics are *identical* to SyncEngine: same double-buffered synchronous
-// update, same results bit-for-bit (property-tested against the full sweep
-// on randomized fields in tests/test_frontier.cpp).
+// The implementation is core/sim/active_engine.hpp: the packed-state
+// active-set engine with per-row dirty column spans, which subsumed the
+// original per-vertex frontier queue. Semantics are *identical* to
+// SyncEngine: same double-buffered synchronous update, same results
+// bit-for-bit (property-tested against the full sweep on randomized fields
+// in tests/test_frontier.cpp and tests/test_sim_packed.cpp).
 #pragma once
 
-#include <vector>
-
-#include "core/coloring.hpp"
-#include "core/smp_rule.hpp"
-#include "grid/torus.hpp"
+#include "core/sim/active_engine.hpp"
 
 namespace dynamo {
 
-class FrontierEngine {
-  public:
-    FrontierEngine(const grid::Torus& torus, ColorField initial)
-        : torus_(&torus),
-          cur_(std::move(initial)),
-          next_(cur_.size()),
-          in_frontier_(cur_.size(), 1),
-          in_next_frontier_(cur_.size(), 0) {
-        require_complete(torus, cur_);
-        frontier_.resize(cur_.size());
-        for (grid::VertexId v = 0; v < cur_.size(); ++v) frontier_[v] = v;
-        next_ = cur_;
-    }
-
-    /// One synchronous round over the active frontier; returns the number
-    /// of vertices that changed color.
-    std::size_t step() {
-        const grid::VertexId* table = torus_->table_data();
-        std::size_t changed = 0;
-        next_frontier_.clear();
-
-        for (const grid::VertexId v : frontier_) {
-            const grid::VertexId* nb = table + static_cast<std::size_t>(v) * grid::kDegree;
-            const std::array<Color, grid::kDegree> nbr{cur_[nb[0]], cur_[nb[1]], cur_[nb[2]],
-                                                       cur_[nb[3]]};
-            const Color out = smp_update(cur_[v], nbr);
-            next_[v] = out;
-            if (out != cur_[v]) {
-                ++changed;
-                // v and all its neighbors may change next round.
-                enqueue(v);
-                for (std::size_t s = 0; s < grid::kDegree; ++s) enqueue(nb[s]);
-            }
-        }
-
-        // Commit: copy back only the cells we visited (next_ holds stale
-        // values elsewhere, but those equal cur_ by the frontier invariant:
-        // a vertex outside the frontier has an unchanged neighborhood).
-        for (const grid::VertexId v : frontier_) {
-            cur_[v] = next_[v];
-            in_frontier_[v] = 0;
-        }
-        frontier_.swap(next_frontier_);
-        in_frontier_.swap(in_next_frontier_);
-        ++round_;
-        return changed;
-    }
-
-    const ColorField& colors() const noexcept { return cur_; }
-    std::uint32_t round() const noexcept { return round_; }
-    std::size_t frontier_size() const noexcept { return frontier_.size(); }
-
-  private:
-    void enqueue(grid::VertexId v) {
-        if (!in_next_frontier_[v]) {
-            in_next_frontier_[v] = 1;
-            next_frontier_.push_back(v);
-        }
-    }
-
-    const grid::Torus* torus_;
-    ColorField cur_;
-    ColorField next_;
-    std::vector<grid::VertexId> frontier_;
-    std::vector<grid::VertexId> next_frontier_;
-    std::vector<std::uint8_t> in_frontier_;
-    std::vector<std::uint8_t> in_next_frontier_;
-    std::uint32_t round_ = 0;
-};
+using FrontierEngine = sim::ActiveEngine;
 
 /// Run to a terminal state (fixed point / monochromatic / round cap);
 /// returns rounds executed until the state stopped changing.

@@ -1,0 +1,49 @@
+// dynamo/core/sim/packed_engine.hpp
+//
+// The packed-state full-sweep engine: two row-major 8-bit color buffers
+// ping-ponged through the cache-blocked stencil sweep of
+// core/sim/sweep.hpp. Semantically identical to the seed double-buffered
+// engine (same synchronous round, same change counts, bit-identical
+// trajectories - tests/test_sim_packed.cpp); the difference is purely the
+// per-round cost. BasicSyncEngine<SmpRuleFn> (core/engine.hpp) routes
+// through the same sweep, so this class exists for callers that want the
+// fast path explicitly without the template machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "core/coloring.hpp"
+#include "core/sim/sweep.hpp"
+#include "grid/torus.hpp"
+#include "util/parallel.hpp"
+
+namespace dynamo::sim {
+
+class PackedEngine {
+  public:
+    PackedEngine(const grid::Torus& torus, ColorField initial)
+        : torus_(&torus), cur_(std::move(initial)), next_(cur_.size()) {
+        require_complete(torus, cur_);
+    }
+
+    /// One synchronous round; returns the number of vertices that changed
+    /// color. Deterministic for any pool/grain combination.
+    std::size_t step(ThreadPool* pool = nullptr, std::size_t grain = 1 << 14) {
+        const std::size_t changed = smp_sweep(*torus_, cur_.data(), next_.data(), pool, grain);
+        cur_.swap(next_);
+        ++round_;
+        return changed;
+    }
+
+    const ColorField& colors() const noexcept { return cur_; }
+    const grid::Torus& torus() const noexcept { return *torus_; }
+    std::uint32_t round() const noexcept { return round_; }
+
+  private:
+    const grid::Torus* torus_;
+    ColorField cur_;
+    ColorField next_;
+    std::uint32_t round_ = 0;
+};
+
+} // namespace dynamo::sim

@@ -18,17 +18,6 @@ Topology topology_from_string(const std::string& name) {
     DYNAMO_REQUIRE(false, "unknown topology '" + name + "' (mesh|cordalis|serpentinus)");
 }
 
-namespace {
-
-constexpr std::uint32_t dec_mod(std::uint32_t x, std::uint32_t mod) noexcept {
-    return x == 0 ? mod - 1 : x - 1;
-}
-constexpr std::uint32_t inc_mod(std::uint32_t x, std::uint32_t mod) noexcept {
-    return x + 1 == mod ? 0 : x + 1;
-}
-
-} // namespace
-
 Coord Torus::neighbor_coord(Topology t, std::uint32_t m, std::uint32_t n, Coord c,
                             Direction d) noexcept {
     const auto [i, j] = c;

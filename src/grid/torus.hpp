@@ -48,6 +48,17 @@ enum class Direction : std::uint8_t { Up = 0, Down = 1, Left = 2, Right = 3 };
 
 inline constexpr std::size_t kDegree = 4;
 
+/// Wrap-around decrement / increment modulo `mod` (branch, no division).
+/// Shared by the neighbor formulas below and by the sim sweep kernels,
+/// which turn them into whole-row pointer offsets instead of per-cell
+/// neighbor-table lookups.
+constexpr std::uint32_t dec_mod(std::uint32_t x, std::uint32_t mod) noexcept {
+    return x == 0 ? mod - 1 : x - 1;
+}
+constexpr std::uint32_t inc_mod(std::uint32_t x, std::uint32_t mod) noexcept {
+    return x + 1 == mod ? 0 : x + 1;
+}
+
 const char* to_string(Topology t) noexcept;
 
 /// Parse "mesh" / "cordalis" / "serpentinus" (as used by bench CLIs).
