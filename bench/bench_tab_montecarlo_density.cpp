@@ -15,6 +15,12 @@ int main(int argc, char** argv) {
     const auto n = static_cast<std::uint32_t>(args.get_int("n", 12));
     const auto trials = static_cast<std::size_t>(args.get_int("trials", 120));
     const auto colors = static_cast<Color>(args.get_int("colors", 4));
+    const auto workers = static_cast<unsigned>(
+        args.get_int("workers", static_cast<std::int64_t>(ThreadPool::default_threads())));
+
+    // Across-trial parallelism (BatchRunner): per-trial RNG substreams make
+    // every cell identical to the serial run, so the pool is free speedup.
+    ThreadPool pool(workers);
 
     const std::vector<double> densities{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.7, 0.85};
 
@@ -27,7 +33,7 @@ int main(int argc, char** argv) {
                                     std::to_string(int(colors)) + ")");
         grid::Torus torus(topo, m, n);
         const auto points =
-            analysis::run_density_sweep(torus, 1, densities, colors, trials, 0xd00d);
+            analysis::run_density_sweep(torus, 1, densities, colors, trials, 0xd00d, &pool);
 
         ConsoleTable table({"density", "P(k-mono)", "95% halfwidth", "P(other mono)",
                             "cycles", "fixed pts", "mean rounds|mono",

@@ -15,6 +15,7 @@
 
 #include "core/builders.hpp"
 #include "core/engine.hpp"
+#include "core/run/batch.hpp"
 #include "graph/generators.hpp"
 #include "graph/plurality.hpp"
 #include "util/cli.hpp"
@@ -41,31 +42,48 @@ int main(int argc, char** argv) {
 
     ConsoleTable table({"budget", "strategy", "P(consensus on 1)", "mean final share",
                         "mean rounds"});
-    Xoshiro256 rng(0xfeed);
+    // Trials run across the ThreadPool with per-trial RNG substreams
+    // (BatchRunner): every table cell is a pure function of the seed and
+    // its (budget, strategy) index, identical serial or pooled.
+    ThreadPool pool;
+    BatchRunner batch(&pool);
+    struct TrialOutcome {
+        bool consensus = false;
+        double share = 0.0;
+        std::uint32_t rounds = 0;
+    };
+    std::uint64_t cell = 0;
     for (const std::size_t budget : {n / 50, n / 20, n / 10, n / 5}) {
         for (const bool hubs : {true, false}) {
+            const auto outcomes = batch.map_trials<TrialOutcome>(
+                trials, substream_seed(0xfeed, cell++),
+                [&](std::size_t, Xoshiro256& rng) {
+                    ColorField opinions(n);
+                    for (auto& c : opinions) c = static_cast<Color>(2 + rng.below(3));
+                    if (hubs) {
+                        for (std::size_t s = 0; s < budget; ++s) opinions[by_degree[s]] = 1;
+                    } else {
+                        std::vector<graphx::VertexId> ids(n);
+                        std::iota(ids.begin(), ids.end(), 0u);
+                        deterministic_shuffle(ids.begin(), ids.end(), rng);
+                        for (std::size_t s = 0; s < budget; ++s) opinions[ids[s]] = 1;
+                    }
+                    graphx::GraphSimulationOptions opts;
+                    opts.threshold = graphx::PluralityThreshold::SimpleHalf;
+                    opts.target = 1;
+                    const graphx::GraphTrace trace =
+                        graphx::simulate_plurality(society, opinions, opts);
+                    return TrialOutcome{trace.reached_mono(1),
+                                        static_cast<double>(trace.final_target_count) /
+                                            static_cast<double>(n),
+                                        trace.rounds};
+                });
             std::size_t consensus = 0;
             double share = 0.0, rounds = 0.0;
-            for (std::size_t t = 0; t < trials; ++t) {
-                ColorField opinions(n);
-                for (auto& c : opinions) c = static_cast<Color>(2 + rng.below(3));
-                if (hubs) {
-                    for (std::size_t s = 0; s < budget; ++s) opinions[by_degree[s]] = 1;
-                } else {
-                    std::vector<graphx::VertexId> ids(n);
-                    std::iota(ids.begin(), ids.end(), 0u);
-                    deterministic_shuffle(ids.begin(), ids.end(), rng);
-                    for (std::size_t s = 0; s < budget; ++s) opinions[ids[s]] = 1;
-                }
-                graphx::GraphSimulationOptions opts;
-                opts.threshold = graphx::PluralityThreshold::SimpleHalf;
-                opts.target = 1;
-                const graphx::GraphTrace trace =
-                    graphx::simulate_plurality(society, opinions, opts);
-                consensus += trace.reached_mono(1);
-                share += static_cast<double>(trace.final_target_count) /
-                         static_cast<double>(n);
-                rounds += trace.rounds;
+            for (const TrialOutcome& o : outcomes) {
+                consensus += o.consensus;
+                share += o.share;
+                rounds += o.rounds;
             }
             table.add_row(budget, hubs ? "influencers-first" : "random",
                           static_cast<double>(consensus) / static_cast<double>(trials),

@@ -1,18 +1,20 @@
 // wavefront_frames - visual companion to Figures 5/6: renders the k-wave
-// of a dynamo as numbered ASCII snapshots and a sequence of PPM images
-// (one per round) ready for `ffmpeg -i frame_%03d.ppm wave.gif`.
+// of a dynamo as ASCII snapshots and a sequence of PPM images (one per
+// round) ready for `ffmpeg -i frame_%03d.ppm wave.gif`.
+//
+// Run-API showcase: the frame dumping, census/entropy trace, and adoption
+// bookkeeping are all observers attached to one simulate() call - no
+// hand-rolled step loop (compare the seed version of this file).
 //
 //   ./wavefront_frames [--topology=cordalis] [--m=16] [--n=16]
 //                      [--outdir=/tmp/dynamo_frames] [--every=1]
-#include <filesystem>
-#include <iomanip>
 #include <iostream>
-#include <sstream>
 
+#include "analysis/census_series.hpp"
 #include "core/builders.hpp"
-#include "core/engine.hpp"
+#include "core/run/simulate.hpp"
 #include "io/ascii.hpp"
-#include "io/ppm.hpp"
+#include "io/frame_dumper.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -27,32 +29,26 @@ int main(int argc, char** argv) {
 
     grid::Torus torus(topo, m, n);
     const Configuration cfg = build_minimum_dynamo(torus);
-    std::filesystem::create_directories(outdir);
-
-    SyncEngine engine(torus, cfg.field);
-    std::uint32_t frame = 0;
-    const auto dump = [&] {
-        std::ostringstream path;
-        path << outdir << "/frame_" << std::setw(3) << std::setfill('0') << frame++ << ".ppm";
-        io::write_ppm(path.str(), torus, engine.colors(), 12);
-    };
 
     std::cout << "round 0 (" << to_string(topo) << ' ' << m << 'x' << n << ", |S_k|="
               << cfg.seeds.size() << "):\n"
-              << io::render_field(torus, engine.colors(), cfg.k);
-    dump();
+              << io::render_field(torus, cfg.field, cfg.k);
 
-    while (true) {
-        const std::size_t changed = engine.step();
-        if (engine.round() % every == 0 || changed == 0) dump();
-        if (changed == 0 || is_monochromatic(engine.colors(), cfg.k) ||
-            engine.round() > 8 * torus.size()) {
-            break;
-        }
-    }
-    std::cout << "round " << engine.round() << ":\n"
-              << io::render_field(torus, engine.colors(), cfg.k);
-    std::cout << "\nwrote " << frame << " PPM frames to " << outdir
+    io::FrameDumper frames(torus, outdir, every, /*scale=*/12);
+    analysis::CensusSeries census;
+    RunOptions opts;
+    opts.target = cfg.k;
+    opts.observers = {&frames, &census};
+    const RunResult result = simulate(torus, cfg.field, opts);
+
+    std::cout << "round " << result.rounds << " (" << to_string(result.termination) << "):\n"
+              << io::render_field(torus, result.final_colors, cfg.k);
+
+    std::cout << "\nentropy decay (bits/round):";
+    for (const auto& sample : census.samples()) std::cout << ' ' << sample.entropy_bits;
+    std::cout << "\nwavefront sizes per round: " << io::render_wavefront(result.newly_k);
+
+    std::cout << "\nwrote " << frames.frames_written() << " PPM frames to " << outdir
               << " (assemble: ffmpeg -i " << outdir << "/frame_%03d.ppm wave.gif)\n";
-    return is_monochromatic(engine.colors(), cfg.k) ? 0 : 1;
+    return result.reached_mono(cfg.k) ? 0 : 1;
 }

@@ -1,6 +1,9 @@
 #include "analysis/montecarlo.hpp"
 
-#include "core/engine.hpp"
+#include <optional>
+
+#include "core/run/batch.hpp"
+#include "core/run/simulate.hpp"
 
 namespace dynamo::analysis {
 
@@ -23,25 +26,45 @@ ColorField random_coloring(std::size_t size, Color k, Color num_colors, double d
     return field;
 }
 
+namespace {
+
+/// Per-trial record, reduced in trial order so floating-point sums are
+/// identical for every execution schedule.
+struct TrialOutcome {
+    Termination termination = Termination::RoundLimit;
+    std::uint32_t rounds = 0;
+    std::optional<Color> mono;
+    std::size_t final_k = 0;
+};
+
+} // namespace
+
 DensityPoint run_density_point(const grid::Torus& torus, Color k, double density,
-                               Color num_colors, std::size_t trials, Xoshiro256& rng) {
+                               Color num_colors, std::size_t trials, std::uint64_t seed,
+                               ThreadPool* pool) {
     DensityPoint point;
     point.density = density;
     point.trials = trials;
 
+    std::vector<TrialOutcome> outcomes(trials);
+    BatchRunner batch(pool);
+    batch.run_trials(trials, seed, [&](std::size_t t, Xoshiro256& rng) {
+        const ColorField initial = random_coloring(torus.size(), k, num_colors, density, rng);
+        // Backend::Auto: each (serial) trial takes the active-set fast
+        // path; parallelism is across trials, not within the sweep.
+        const RunResult result = simulate(torus, initial);
+        outcomes[t] = {result.termination, result.rounds, result.mono,
+                       count_color(result.final_colors, k)};
+    });
+
     double rounds_sum = 0.0;
     double k_fraction_sum = 0.0;
-    for (std::size_t t = 0; t < trials; ++t) {
-        const ColorField initial = random_coloring(torus.size(), k, num_colors, density, rng);
-        SimulationOptions opts;
-        opts.target = k;
-        const Trace trace = simulate(torus, initial, opts);
-
-        switch (trace.termination) {
+    for (const TrialOutcome& outcome : outcomes) {
+        switch (outcome.termination) {
             case Termination::Monochromatic:
-                if (trace.mono && *trace.mono == k) {
+                if (outcome.mono && *outcome.mono == k) {
                     ++point.k_mono;
-                    rounds_sum += trace.rounds;
+                    rounds_sum += outcome.rounds;
                 } else {
                     ++point.other_mono;
                 }
@@ -50,8 +73,8 @@ DensityPoint run_density_point(const grid::Torus& torus, Color k, double density
             case Termination::FixedPoint: ++point.fixed_points; break;
             case Termination::RoundLimit: break;
         }
-        k_fraction_sum += static_cast<double>(count_color(trace.final_colors, k)) /
-                          static_cast<double>(torus.size());
+        k_fraction_sum +=
+            static_cast<double>(outcome.final_k) / static_cast<double>(torus.size());
     }
     if (point.k_mono > 0) rounds_sum /= static_cast<double>(point.k_mono);
     point.mean_rounds_mono = rounds_sum;
@@ -62,12 +85,12 @@ DensityPoint run_density_point(const grid::Torus& torus, Color k, double density
 std::vector<DensityPoint> run_density_sweep(const grid::Torus& torus, Color k,
                                             const std::vector<double>& densities,
                                             Color num_colors, std::size_t trials,
-                                            std::uint64_t seed) {
+                                            std::uint64_t seed, ThreadPool* pool) {
     std::vector<DensityPoint> points;
     points.reserve(densities.size());
-    Xoshiro256 rng(seed);
-    for (const double d : densities) {
-        points.push_back(run_density_point(torus, k, d, num_colors, trials, rng));
+    for (std::size_t i = 0; i < densities.size(); ++i) {
+        points.push_back(run_density_point(torus, k, densities[i], num_colors, trials,
+                                           substream_seed(seed, i), pool));
     }
     return points;
 }

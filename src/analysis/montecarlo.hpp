@@ -4,8 +4,13 @@
 // for engineered seed sets; the M1 experiment complements them with the
 // average-case picture - the probability that a *random* initial coloring
 // with k-density rho reaches the k-monochromatic configuration, per
-// topology, plus conditional round counts. All draws come from a seeded
-// Xoshiro256 stream, so every table cell is reproducible.
+// topology, plus conditional round counts.
+//
+// Every trial draws from its own deterministic RNG substream
+// (substream_seed(seed, trial), see core/run/batch.hpp) and runs on the
+// BatchRunner, so a table cell is a pure function of (topology, k,
+// density, |C|, trials, seed) - identical whether trials execute serially
+// or across the ThreadPool, and reproducible from a printed seed.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,7 @@
 
 #include "core/coloring.hpp"
 #include "grid/torus.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace dynamo::analysis {
@@ -32,25 +38,23 @@ struct DensityPoint {
     }
 };
 
-struct DensitySweepOptions {
-    Color num_colors = 4;
-    std::size_t trials = 200;
-    std::uint64_t seed = 0x4dc;
-};
-
 /// Random coloring: each vertex takes color k with probability `density`,
 /// otherwise a uniform color from the remaining palette.
 ColorField random_coloring(std::size_t size, Color k, Color num_colors, double density,
                            Xoshiro256& rng);
 
-/// One sweep point: `trials` random colorings at the given density.
+/// One sweep point: `trials` random colorings at the given density, trial
+/// t seeded with substream_seed(seed, t), executed on `pool` when given
+/// (bit-identical results either way).
 DensityPoint run_density_point(const grid::Torus& torus, Color k, double density,
-                               Color num_colors, std::size_t trials, Xoshiro256& rng);
+                               Color num_colors, std::size_t trials, std::uint64_t seed,
+                               ThreadPool* pool = nullptr);
 
-/// Full sweep over a density grid.
+/// Full sweep over a density grid; density i uses the substream
+/// substream_seed(seed, i) so points are independent of each other too.
 std::vector<DensityPoint> run_density_sweep(const grid::Torus& torus, Color k,
                                             const std::vector<double>& densities,
                                             Color num_colors, std::size_t trials,
-                                            std::uint64_t seed);
+                                            std::uint64_t seed, ThreadPool* pool = nullptr);
 
 } // namespace dynamo::analysis

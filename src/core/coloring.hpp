@@ -29,6 +29,28 @@ inline ColorField make_field(std::size_t size, Color fill) {
     return ColorField(size, fill);
 }
 
+/// One vertex's recoloring within a synchronous round (before != after).
+/// Engines report these to the run layer (core/run/) so observers see the
+/// exact changed set without re-scanning or copying whole fields.
+struct CellChange {
+    grid::VertexId v;
+    Color before;
+    Color after;
+};
+
+/// Appends every differing cell of two equal-size fields to `out`, in
+/// ascending vertex order. The diff-scan used by full-sweep engines to
+/// report their changed cells.
+inline void append_changes(const ColorField& before, const ColorField& after,
+                           std::vector<CellChange>& out) {
+    DYNAMO_ASSERT(before.size() == after.size(), "field size mismatch");
+    for (std::size_t v = 0; v < before.size(); ++v) {
+        if (before[v] != after[v]) {
+            out.push_back({static_cast<grid::VertexId>(v), before[v], after[v]});
+        }
+    }
+}
+
 /// True iff every vertex holds exactly color k.
 inline bool is_monochromatic(const ColorField& field, Color k) {
     return std::all_of(field.begin(), field.end(), [k](Color c) { return c == k; });

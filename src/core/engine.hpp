@@ -1,305 +1,19 @@
 // dynamo/core/engine.hpp
 //
-// Synchronous simulation of local recoloring protocols (paper Section
-// III.D): the system is synchronous, one unit of time per round, every
-// vertex updates simultaneously from the previous round's state.
+// Compatibility umbrella for the seed-era engine API. The pieces now live
+// in focused headers:
 //
-// Implementation: classic double-buffered sweep. Reads come from the
-// current buffer, writes go to the next buffer, and the swap is the round
-// barrier - the shared-memory analogue of a BSP superstep / MPI halo
-// exchange. The sweep is optionally partitioned into contiguous blocks
-// executed on a ThreadPool; results are bit-identical to the serial sweep
-// because writes are disjoint and reads never touch the write buffer.
+//   * core/sync_engine.hpp  - BasicSyncEngine / SyncEngine, SmpRuleFn,
+//                             ReferenceSmpRule (the stepping substrate);
+//   * core/run/result.hpp   - Termination, RunResult (Trace is an alias);
+//   * core/run/runner.hpp   - RunOptions (SimulationOptions is an alias),
+//                             Backend, observers, run_to_terminal();
+//   * core/run/simulate.hpp - simulate() / simulate_rule().
 //
-// The engine is a template over the local rule so the SMP-Protocol and the
-// bi-color majority baselines of [15] (rules/majority.hpp) share one
-// driver. The sweep itself lives in core/sim/sweep.hpp: the SMP rule takes
-// the packed-state cache-blocked stencil fast path, any other rule takes
-// the generic table-driven sweep (this class is a thin adapter over both,
-// so callers and semantics are unchanged). The run driver detects the
-// three terminal behaviours of a finite deterministic system:
-// monochromatic fixed point (the dynamo goal, Definition 2), other fixed
-// points, and limit cycles (e.g. the period-2 checkerboard flip), plus a
-// defensive round limit.
+// Seed-era call sites (`#include "core/engine.hpp"` + Trace / simulate /
+// SimulationOptions) compile unchanged; new code should include the
+// specific run headers instead.
 #pragma once
 
-#include <array>
-#include <cstdint>
-#include <limits>
-#include <optional>
-#include <type_traits>
-#include <unordered_map>
-#include <vector>
-
-#include "core/coloring.hpp"
-#include "core/sim/sweep.hpp"
-#include "core/smp_rule.hpp"
-#include "grid/torus.hpp"
-#include "util/parallel.hpp"
-
-namespace dynamo {
-
-/// Sentinel adoption time for vertices that never (stably) hold the target.
-inline constexpr std::uint32_t kNeverK = std::numeric_limits<std::uint32_t>::max();
-
-enum class Termination : std::uint8_t {
-    Monochromatic,  ///< all vertices share one color (stable under any rule
-                    ///< that maps a unanimous neighborhood to itself)
-    FixedPoint,     ///< no vertex changed, but not monochromatic
-    Cycle,          ///< state repeated with period >= 1
-    RoundLimit,     ///< defensive cap reached
-};
-
-const char* to_string(Termination t) noexcept;
-
-struct SimulationOptions {
-    /// Hard cap on rounds; 0 selects an automatic cap of 4*|V| + 64 (far
-    /// above every bound the paper proves, see Theorems 7-8).
-    std::uint32_t max_rounds = 0;
-
-    /// When set, the trace records per-vertex adoption times of this color,
-    /// the per-round wavefront sizes, and monotonicity (Definition 3).
-    std::optional<Color> target;
-
-    /// Detect repeated states (limit cycles) via 128-bit state hashing.
-    bool detect_cycles = true;
-
-    /// Optional worker pool for the sweep; nullptr = serial.
-    ThreadPool* pool = nullptr;
-
-    /// Minimum vertices per parallel block (avoids threading toy grids).
-    std::size_t parallel_grain = 1 << 14;
-};
-
-struct Trace {
-    Termination termination = Termination::RoundLimit;
-
-    /// Rounds executed until the terminal condition first held. For a
-    /// dynamo this is exactly the paper's "number of rounds needed to
-    /// reach the monochromatic configuration".
-    std::uint32_t rounds = 0;
-
-    /// The shared color when termination == Monochromatic.
-    std::optional<Color> mono;
-
-    /// Cycle period when termination == Cycle.
-    std::uint32_t cycle_period = 0;
-
-    std::uint64_t total_recolorings = 0;
-
-    ColorField final_colors;
-
-    // --- target-color bookkeeping (filled only when options.target) ---
-
-    /// k_time[v]: round at which v most recently assumed the target color
-    /// (0 for initially-k vertices); kNeverK if v is not k at termination.
-    /// For monotone dynamos this is the paper's Figures 5/6 matrix.
-    std::vector<std::uint32_t> k_time;
-
-    /// newly_k[r]: vertices that assumed the target color at round r
-    /// (index 0 = initial seeds). The wavefront profile.
-    std::vector<std::uint32_t> newly_k;
-
-    /// Definition 3: no vertex ever abandoned the target color.
-    bool monotone = true;
-
-    bool reached_mono(Color k) const {
-        return termination == Termination::Monochromatic && mono && *mono == k;
-    }
-};
-
-/// The SMP-Protocol as an engine rule functor. BasicSyncEngine recognizes
-/// this exact type and routes it through the packed stencil sweep.
-struct SmpRuleFn {
-    Color operator()(Color own, const std::array<Color, grid::kDegree>& nbr) const noexcept {
-        return smp_update(own, nbr);
-    }
-};
-
-/// The SMP rule as an opaque functor type: identical semantics to
-/// SmpRuleFn, but deliberately not recognized by the fast-path dispatch,
-/// so it runs the seed table-driven sweep. This is the baseline the packed
-/// engine is oracle-tested (tests/test_sim_packed.cpp) and benchmarked
-/// (bench/bench_perf_engine.cpp) against.
-struct ReferenceSmpRule {
-    Color operator()(Color own, const std::array<Color, grid::kDegree>& nbr) const noexcept {
-        return smp_update(own, nbr);
-    }
-};
-
-/// Stepping engine, templated over the local rule (own color + 4 neighbor
-/// slot colors -> new color). Exposed separately from simulate() so
-/// examples and tests can single-step and inspect intermediate states.
-template <typename Rule>
-class BasicSyncEngine {
-  public:
-    BasicSyncEngine(const grid::Torus& torus, ColorField initial, Rule rule = Rule{})
-        : torus_(&torus), rule_(rule), cur_(std::move(initial)), next_(cur_.size()) {
-        require_complete(torus, cur_);
-    }
-
-    /// One synchronous round; returns the number of vertices that changed
-    /// color. Deterministic for any pool/grain combination.
-    std::size_t step(ThreadPool* pool = nullptr, std::size_t grain = 1 << 14) {
-        std::size_t changed;
-        if constexpr (std::is_same_v<Rule, SmpRuleFn>) {
-            changed = sim::smp_sweep(*torus_, cur_.data(), next_.data(), pool, grain);
-        } else {
-            changed = sim::rule_sweep(*torus_, cur_.data(), next_.data(), rule_, pool, grain);
-        }
-        cur_.swap(next_);
-        ++round_;
-        return changed;
-    }
-
-    const ColorField& colors() const noexcept { return cur_; }
-    const grid::Torus& torus() const noexcept { return *torus_; }
-    std::uint32_t round() const noexcept { return round_; }
-
-  private:
-    const grid::Torus* torus_;
-    Rule rule_;
-    ColorField cur_;
-    ColorField next_;
-    std::uint32_t round_ = 0;
-};
-
-using SyncEngine = BasicSyncEngine<SmpRuleFn>;
-
-namespace detail {
-
-/// 128-bit state fingerprint (two independent 64-bit streams); used only
-/// for limit-cycle detection, where a collision would merely terminate a
-/// run early - and ~2^-128 per pair is negligible at our scales.
-struct StateHash {
-    std::uint64_t a = 0xcbf29ce484222325ULL;
-    std::uint64_t b = 0x9e3779b97f4a7c15ULL;
-
-    void mix(const ColorField& field) noexcept {
-        for (const Color c : field) {
-            a = (a ^ c) * 0x100000001b3ULL;
-            b = (b ^ (c + 0x9eu)) * 0xc6a4a7935bd1e995ULL;
-        }
-    }
-};
-
-} // namespace detail
-
-/// Run `rule` from `initial` until a terminal behaviour (see Termination).
-template <typename Rule>
-Trace simulate_rule(const grid::Torus& torus, const ColorField& initial, Rule rule,
-                    const SimulationOptions& options = {}) {
-    require_complete(torus, initial);
-    const std::size_t n = torus.size();
-    const std::uint32_t cap = options.max_rounds != 0
-                                  ? options.max_rounds
-                                  : static_cast<std::uint32_t>(4 * n + 64);
-
-    Trace trace;
-    const bool track = options.target.has_value();
-    const Color k = options.target.value_or(kUnset);
-    if (track) {
-        trace.k_time.assign(n, kNeverK);
-        std::uint32_t seeds = 0;
-        for (std::size_t v = 0; v < n; ++v) {
-            if (initial[v] == k) {
-                trace.k_time[v] = 0;
-                ++seeds;
-            }
-        }
-        trace.newly_k.push_back(seeds);
-    }
-
-    std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint32_t>> seen;
-    const auto fingerprint = [](const ColorField& f) {
-        detail::StateHash h;
-        h.mix(f);
-        return h;
-    };
-    if (options.detect_cycles) {
-        const detail::StateHash h = fingerprint(initial);
-        seen.emplace(h.a, std::make_pair(h.b, 0u));
-    }
-
-    BasicSyncEngine<Rule> engine(torus, initial, rule);
-
-    // Degenerate but legal: an initially monochromatic field has already
-    // reached the configuration at round 0.
-    if (auto mono = monochromatic_color(engine.colors())) {
-        trace.termination = Termination::Monochromatic;
-        trace.mono = mono;
-        trace.final_colors = engine.colors();
-        return trace;
-    }
-
-    ColorField before;
-    while (engine.round() < cap) {
-        if (track) before = engine.colors();
-        const std::size_t changed = engine.step(options.pool, options.parallel_grain);
-        trace.total_recolorings += changed;
-        const std::uint32_t r = engine.round();
-
-        if (track) {
-            std::uint32_t newly = 0;
-            const ColorField& after = engine.colors();
-            for (std::size_t v = 0; v < n; ++v) {
-                if (before[v] != k && after[v] == k) {
-                    trace.k_time[v] = r;
-                    ++newly;
-                } else if (before[v] == k && after[v] != k) {
-                    trace.monotone = false;
-                    trace.k_time[v] = kNeverK;
-                }
-            }
-            trace.newly_k.push_back(newly);
-        }
-
-        if (changed == 0) {
-            // The state was already terminal before this no-op round.
-            trace.rounds = r - 1;
-            if (auto mono = monochromatic_color(engine.colors())) {
-                trace.termination = Termination::Monochromatic;
-                trace.mono = mono;
-            } else {
-                trace.termination = Termination::FixedPoint;
-            }
-            trace.final_colors = engine.colors();
-            if (track) trace.newly_k.pop_back();  // drop the no-op round entry
-            return trace;
-        }
-
-        if (auto mono = monochromatic_color(engine.colors())) {
-            trace.termination = Termination::Monochromatic;
-            trace.mono = mono;
-            trace.rounds = r;
-            trace.final_colors = engine.colors();
-            return trace;
-        }
-
-        if (options.detect_cycles) {
-            const detail::StateHash h = fingerprint(engine.colors());
-            const auto it = seen.find(h.a);
-            if (it != seen.end() && it->second.first == h.b) {
-                trace.termination = Termination::Cycle;
-                trace.cycle_period = r - it->second.second;
-                trace.rounds = r;
-                trace.final_colors = engine.colors();
-                return trace;
-            }
-            seen.emplace(h.a, std::make_pair(h.b, r));
-        }
-    }
-
-    trace.termination = Termination::RoundLimit;
-    trace.rounds = engine.round();
-    trace.final_colors = engine.colors();
-    return trace;
-}
-
-/// Run the SMP-Protocol from `initial` until a terminal behaviour.
-inline Trace simulate(const grid::Torus& torus, const ColorField& initial,
-                      const SimulationOptions& options = {}) {
-    return simulate_rule(torus, initial, SmpRuleFn{}, options);
-}
-
-} // namespace dynamo
+#include "core/run/simulate.hpp"
+#include "core/sync_engine.hpp"

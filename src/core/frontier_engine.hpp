@@ -15,6 +15,7 @@
 // in tests/test_frontier.cpp and tests/test_sim_packed.cpp).
 #pragma once
 
+#include "core/run/runner.hpp"
 #include "core/sim/active_engine.hpp"
 
 namespace dynamo {
@@ -23,11 +24,21 @@ using FrontierEngine = sim::ActiveEngine;
 
 /// Run to a terminal state (fixed point / monochromatic / round cap);
 /// returns rounds executed until the state stopped changing.
+///
+/// Terminal-round semantics are defined once, by the shared Runner
+/// (core/run/runner.hpp), so this agrees with simulate() by construction:
+/// the seed drivers' subtly different quiescence accounting (round()-1 on
+/// a no-op round here, a special-cased pop in simulate_rule) is gone.
+/// Unlike the seed loop, a monochromatic state now terminates immediately
+/// instead of costing one extra confirmation round.
 inline std::uint32_t frontier_run(FrontierEngine& engine, std::uint32_t max_rounds) {
-    while (engine.round() < max_rounds) {
-        if (engine.step() == 0 && engine.frontier_size() == 0) return engine.round() - 1;
-    }
-    return engine.round();
+    // Seed contract: a zero cap executes zero rounds (the runner would
+    // interpret 0 as "pick the automatic cap").
+    if (max_rounds == 0) return engine.round();
+    RunOptions options;
+    options.max_rounds = max_rounds;
+    options.detect_cycles = false;
+    return run_to_terminal(engine, options).rounds;
 }
 
 } // namespace dynamo

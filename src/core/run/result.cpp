@@ -1,4 +1,4 @@
-#include "core/engine.hpp"
+#include "core/run/result.hpp"
 
 namespace dynamo {
 

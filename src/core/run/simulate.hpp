@@ -1,0 +1,81 @@
+// dynamo/core/run/simulate.hpp
+//
+// The torus-level entry points of the run API: simulate() (the
+// SMP-Protocol) and simulate_rule() (any local rule), routed through a
+// Backend-selected engine and the shared run_to_terminal() driver.
+//
+// Backend::Auto picks the fastest correct substrate: SMP dynamo runs go
+// through the active-set engine (per-round cost O(frontier), the thin-wave
+// regime of Theorems 7-8) when serial, the pooled packed full sweep when a
+// ThreadPool is supplied, and any other rule takes the table-driven
+// generic sweep. All backends produce bit-identical RunResults - same
+// trajectories, same terminal classification, same round accounting
+// (property-tested in tests/test_run.cpp).
+#pragma once
+
+#include <array>
+#include <type_traits>
+#include <utility>
+
+#include "core/run/runner.hpp"
+#include "core/sim/active_engine.hpp"
+#include "core/sync_engine.hpp"
+#include "grid/torus.hpp"
+
+namespace dynamo {
+
+/// Opaque rule wrapper: hides the rule's type from the packed fast-path
+/// dispatch, forcing the seed-style table-driven sweep (Backend::Generic).
+template <typename Rule>
+struct GenericRule {
+    Rule rule;
+    Color operator()(Color own, const std::array<Color, grid::kDegree>& nbr) const noexcept {
+        return rule(own, nbr);
+    }
+};
+
+/// Run `rule` from `initial` until a terminal behaviour (see Termination).
+template <typename Rule>
+RunResult simulate_rule(const grid::Torus& torus, const ColorField& initial, Rule rule,
+                        const RunOptions& options = {}) {
+    require_complete(torus, initial);
+    constexpr bool is_smp = std::is_same_v<Rule, SmpRuleFn>;
+
+    Backend backend = options.backend;
+    if (backend == Backend::Auto) {
+        if (!is_smp) {
+            backend = Backend::Generic;
+        } else {
+            backend = options.pool != nullptr ? Backend::Packed : Backend::Active;
+        }
+    }
+    DYNAMO_REQUIRE(backend != Backend::Active || is_smp,
+                   "Backend::Active implements only the SMP rule");
+    // The active-set engine is serial by design (span bookkeeping is not
+    // partitioned); refuse the combination rather than silently ignoring
+    // the pool. Backend::Auto already routes pooled runs to Packed.
+    DYNAMO_REQUIRE(backend != Backend::Active || options.pool == nullptr,
+                   "Backend::Active is serial; use Backend::Auto or Backend::Packed "
+                   "with a ThreadPool");
+
+    if (backend == Backend::Active) {
+        if constexpr (is_smp) {
+            sim::ActiveEngine engine(torus, initial);
+            return run_to_terminal(engine, options);
+        }
+    }
+    if (backend == Backend::Generic) {
+        BasicSyncEngine<GenericRule<Rule>> engine(torus, initial, GenericRule<Rule>{rule});
+        return run_to_terminal(engine, options);
+    }
+    BasicSyncEngine<Rule> engine(torus, initial, std::move(rule));
+    return run_to_terminal(engine, options);
+}
+
+/// Run the SMP-Protocol from `initial` until a terminal behaviour.
+inline RunResult simulate(const grid::Torus& torus, const ColorField& initial,
+                          const RunOptions& options = {}) {
+    return simulate_rule(torus, initial, SmpRuleFn{}, options);
+}
+
+} // namespace dynamo

@@ -55,7 +55,27 @@ class ActiveEngine {
 
     /// One synchronous round over the active spans; returns the number of
     /// vertices that changed color.
-    std::size_t step() {
+    std::size_t step() { return step_impl(nullptr); }
+
+    /// step() that also appends the changed cells to `out` - free here, as
+    /// phase 2 already walks exactly those cells. Order is per-span, not
+    /// globally sorted by vertex id.
+    std::size_t step_collect(std::vector<CellChange>& out) { return step_impl(&out); }
+
+    const ColorField& colors() const noexcept { return cur_; }
+    const grid::Torus& torus() const noexcept { return *torus_; }
+    std::uint32_t round() const noexcept { return round_; }
+
+    /// Cells scheduled for re-evaluation next round (span cells, a superset
+    /// of the exact dirty set). 0 iff the state is a fixed point.
+    std::size_t frontier_size() const noexcept {
+        std::size_t total = 0;
+        for (const std::uint32_t i : active_rows_) total += hi_[i] - lo_[i];
+        return total;
+    }
+
+  private:
+    std::size_t step_impl(std::vector<CellChange>* out) {
         const std::uint32_t n = torus_->cols();
         const grid::VertexId* table = torus_->table_data();
 
@@ -77,6 +97,7 @@ class ActiveEngine {
                 const std::size_t v = base + j;
                 if (next_[v] == cur_[v]) continue;
                 ++changed;
+                if (out) out->push_back({static_cast<grid::VertexId>(v), cur_[v], next_[v]});
                 cur_[v] = next_[v];
                 mark(static_cast<grid::VertexId>(v));
                 const grid::VertexId* nb = table + v * grid::kDegree;
@@ -98,19 +119,6 @@ class ActiveEngine {
         return changed;
     }
 
-    const ColorField& colors() const noexcept { return cur_; }
-    const grid::Torus& torus() const noexcept { return *torus_; }
-    std::uint32_t round() const noexcept { return round_; }
-
-    /// Cells scheduled for re-evaluation next round (span cells, a superset
-    /// of the exact dirty set). 0 iff the state is a fixed point.
-    std::size_t frontier_size() const noexcept {
-        std::size_t total = 0;
-        for (const std::uint32_t i : active_rows_) total += hi_[i] - lo_[i];
-        return total;
-    }
-
-  private:
     void mark(grid::VertexId v) {
         const std::uint32_t n = torus_->cols();
         const std::uint32_t i = v / n;

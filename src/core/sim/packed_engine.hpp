@@ -35,6 +35,17 @@ class PackedEngine {
         return changed;
     }
 
+    /// step() that also appends the changed cells to `out` (ascending
+    /// vertex order), for the run layer's observers.
+    std::size_t step_collect(std::vector<CellChange>& out, ThreadPool* pool = nullptr,
+                             std::size_t grain = 1 << 14) {
+        const std::size_t changed = smp_sweep(*torus_, cur_.data(), next_.data(), pool, grain);
+        if (changed != 0) append_changes(cur_, next_, out);
+        cur_.swap(next_);
+        ++round_;
+        return changed;
+    }
+
     const ColorField& colors() const noexcept { return cur_; }
     const grid::Torus& torus() const noexcept { return *torus_; }
     std::uint32_t round() const noexcept { return round_; }

@@ -1,0 +1,113 @@
+// dynamo/core/sync_engine.hpp
+//
+// Synchronous stepping engines for local recoloring protocols (paper
+// Section III.D): the system is synchronous, one unit of time per round,
+// every vertex updates simultaneously from the previous round's state.
+//
+// Implementation: classic double-buffered sweep. Reads come from the
+// current buffer, writes go to the next buffer, and the swap is the round
+// barrier - the shared-memory analogue of a BSP superstep / MPI halo
+// exchange. The sweep is optionally partitioned into contiguous blocks
+// executed on a ThreadPool; results are bit-identical to the serial sweep
+// because writes are disjoint and reads never touch the write buffer.
+//
+// The engine is a template over the local rule so the SMP-Protocol and the
+// bi-color majority baselines of [15] (rules/majority.hpp) share one
+// driver. The sweep itself lives in core/sim/sweep.hpp: the SMP rule takes
+// the packed-state cache-blocked stencil fast path, any other rule takes
+// the generic table-driven sweep. Run-to-terminal drivers live in
+// core/run/ (runner.hpp / simulate.hpp); this header is just the stepping
+// substrate, exposed so examples and tests can single-step and inspect
+// intermediate states.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "core/coloring.hpp"
+#include "core/sim/sweep.hpp"
+#include "core/smp_rule.hpp"
+#include "grid/torus.hpp"
+#include "util/parallel.hpp"
+
+namespace dynamo {
+
+/// The SMP-Protocol as an engine rule functor. BasicSyncEngine recognizes
+/// this exact type and routes it through the packed stencil sweep.
+struct SmpRuleFn {
+    Color operator()(Color own, const std::array<Color, grid::kDegree>& nbr) const noexcept {
+        return smp_update(own, nbr);
+    }
+};
+
+/// The SMP rule as an opaque functor type: identical semantics to
+/// SmpRuleFn, but deliberately not recognized by the fast-path dispatch,
+/// so it runs the seed table-driven sweep. This is the baseline the packed
+/// engine is oracle-tested (tests/test_sim_packed.cpp) and benchmarked
+/// (bench/bench_perf_engine.cpp) against, and what Backend::Generic uses.
+struct ReferenceSmpRule {
+    Color operator()(Color own, const std::array<Color, grid::kDegree>& nbr) const noexcept {
+        return smp_update(own, nbr);
+    }
+};
+
+/// Stepping engine, templated over the local rule (own color + 4 neighbor
+/// slot colors -> new color). Satisfies the run layer's Engine concept
+/// (and ChangeReportingEngine via step_collect).
+template <typename Rule>
+class BasicSyncEngine {
+  public:
+    BasicSyncEngine(const grid::Torus& torus, ColorField initial, Rule rule = Rule{})
+        : torus_(&torus), rule_(rule), cur_(std::move(initial)), next_(cur_.size()) {
+        require_complete(torus, cur_);
+    }
+
+    /// One synchronous round; returns the number of vertices that changed
+    /// color. Deterministic for any pool/grain combination.
+    std::size_t step(ThreadPool* pool = nullptr, std::size_t grain = 1 << 14) {
+        const std::size_t changed = sweep_once(pool, grain);
+        commit();
+        return changed;
+    }
+
+    /// step() that also appends the changed cells to `out` (ascending
+    /// vertex order) - an O(|V|) compare over the two resident buffers, no
+    /// field copy.
+    std::size_t step_collect(std::vector<CellChange>& out, ThreadPool* pool = nullptr,
+                             std::size_t grain = 1 << 14) {
+        const std::size_t changed = sweep_once(pool, grain);
+        if (changed != 0) append_changes(cur_, next_, out);
+        commit();
+        return changed;
+    }
+
+    const ColorField& colors() const noexcept { return cur_; }
+    const grid::Torus& torus() const noexcept { return *torus_; }
+    std::uint32_t round() const noexcept { return round_; }
+
+  private:
+    std::size_t sweep_once(ThreadPool* pool, std::size_t grain) {
+        if constexpr (std::is_same_v<Rule, SmpRuleFn>) {
+            return sim::smp_sweep(*torus_, cur_.data(), next_.data(), pool, grain);
+        } else {
+            return sim::rule_sweep(*torus_, cur_.data(), next_.data(), rule_, pool, grain);
+        }
+    }
+
+    void commit() {
+        cur_.swap(next_);
+        ++round_;
+    }
+
+    const grid::Torus* torus_;
+    Rule rule_;
+    ColorField cur_;
+    ColorField next_;
+    std::uint32_t round_ = 0;
+};
+
+using SyncEngine = BasicSyncEngine<SmpRuleFn>;
+
+} // namespace dynamo

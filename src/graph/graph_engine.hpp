@@ -1,0 +1,53 @@
+// dynamo/graph/graph_engine.hpp
+//
+// Plurality dynamics on a CSR graph as a run-layer engine: satisfies the
+// Engine concept of core/run/runner.hpp (step / colors / round, plus
+// step_collect change reporting), so the shared Runner drives general
+// graphs with exactly the same terminal-round semantics and observers as
+// the torus engines. simulate_plurality (graph/plurality.hpp) is now a
+// thin adapter over this engine + run_to_terminal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coloring.hpp"
+#include "graph/plurality.hpp"
+
+namespace dynamo::graphx {
+
+class GraphEngine {
+  public:
+    GraphEngine(const Graph& graph, ColorField initial,
+                PluralityThreshold threshold = PluralityThreshold::SimpleHalf)
+        : graph_(&graph), threshold_(threshold), cur_(std::move(initial)), next_(cur_.size()) {
+        DYNAMO_REQUIRE(cur_.size() == graph.num_vertices(), "field size mismatch");
+    }
+
+    /// One synchronous round; returns the number of vertices that changed.
+    std::size_t step() { return step_impl(nullptr); }
+
+    /// step() that also appends the changed cells (ascending vertex order).
+    std::size_t step_collect(std::vector<CellChange>& out) { return step_impl(&out); }
+
+    const ColorField& colors() const noexcept { return cur_; }
+    const Graph& graph() const noexcept { return *graph_; }
+    std::uint32_t round() const noexcept { return round_; }
+
+  private:
+    std::size_t step_impl(std::vector<CellChange>* out) {
+        const std::size_t changed = plurality_step(*graph_, cur_, next_, threshold_);
+        if (changed != 0 && out != nullptr) append_changes(cur_, next_, *out);
+        cur_.swap(next_);
+        ++round_;
+        return changed;
+    }
+
+    const Graph* graph_;
+    PluralityThreshold threshold_;
+    ColorField cur_;
+    ColorField next_;
+    std::uint32_t round_ = 0;
+};
+
+} // namespace dynamo::graphx

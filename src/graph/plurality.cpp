@@ -1,7 +1,10 @@
 #include "graph/plurality.hpp"
 
 #include <array>
-#include <unordered_map>
+#include <utility>
+
+#include "core/run/runner.hpp"
+#include "graph/graph_engine.hpp"
 
 namespace dynamo::graphx {
 
@@ -55,17 +58,6 @@ Color decide(Color own, std::span<const VertexId> nbrs, const Color* colors,
     return best_color;
 }
 
-struct Fingerprint {
-    std::uint64_t a = 0xcbf29ce484222325ULL;
-    std::uint64_t b = 0x9e3779b97f4a7c15ULL;
-    void mix(const ColorField& f) noexcept {
-        for (const Color c : f) {
-            a = (a ^ c) * 0x100000001b3ULL;
-            b = (b ^ (c + 0x9eu)) * 0xc6a4a7935bd1e995ULL;
-        }
-    }
-};
-
 } // namespace
 
 std::size_t plurality_step(const Graph& graph, const ColorField& current, ColorField& next,
@@ -84,85 +76,30 @@ std::size_t plurality_step(const Graph& graph, const ColorField& current, ColorF
 GraphTrace simulate_plurality(const Graph& graph, const ColorField& initial,
                               const GraphSimulationOptions& options) {
     DYNAMO_REQUIRE(initial.size() == graph.num_vertices(), "field size mismatch");
-    const std::size_t n = graph.num_vertices();
-    const std::uint32_t cap = options.max_rounds != 0
-                                  ? options.max_rounds
-                                  : static_cast<std::uint32_t>(4 * n + 64);
+
+    // The run loop (termination detection, cycle hashing, monotonicity) is
+    // the shared Runner of core/run/; only the GraphTrace shape is local.
+    RunOptions run_options;
+    run_options.max_rounds = options.max_rounds;
+    run_options.target = options.target;
+    run_options.detect_cycles = options.detect_cycles;
+
+    GraphEngine engine(graph, initial, options.threshold);
+    RunResult result = run_to_terminal(engine, run_options);
 
     GraphTrace trace;
-    const bool track = options.target.has_value();
-    const Color k = options.target.value_or(kUnset);
-
-    std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint32_t>> seen;
-    const auto fp = [](const ColorField& f) {
-        Fingerprint h;
-        h.mix(f);
-        return h;
-    };
-    if (options.detect_cycles) {
-        const Fingerprint h = fp(initial);
-        seen.emplace(h.a, std::make_pair(h.b, 0u));
+    trace.monochromatic = result.termination == Termination::Monochromatic;
+    trace.fixed_point = result.termination == Termination::FixedPoint;
+    trace.cycle = result.termination == Termination::Cycle;
+    trace.rounds = result.rounds;
+    trace.cycle_period = result.cycle_period;
+    trace.mono = result.mono;
+    trace.total_recolorings = result.total_recolorings;
+    trace.monotone = result.monotone;
+    if (options.target) {
+        trace.final_target_count = count_color(result.final_colors, *options.target);
     }
-
-    ColorField cur = initial, next;
-    const auto finish = [&](GraphTrace& t) {
-        if (track) t.final_target_count = count_color(cur, k);
-        t.final_colors = cur;
-    };
-
-    if (auto mono = monochromatic_color(cur)) {
-        trace.monochromatic = true;
-        trace.mono = mono;
-        finish(trace);
-        return trace;
-    }
-
-    for (std::uint32_t r = 1; r <= cap; ++r) {
-        const std::size_t changed = plurality_step(graph, cur, next, options.threshold);
-        if (track) {
-            for (std::size_t v = 0; v < n; ++v) {
-                if (cur[v] == k && next[v] != k) {
-                    trace.monotone = false;
-                    break;
-                }
-            }
-        }
-        cur.swap(next);
-        trace.total_recolorings += changed;
-
-        if (changed == 0) {
-            trace.fixed_point = true;
-            trace.rounds = r - 1;
-            if (auto mono = monochromatic_color(cur)) {
-                trace.monochromatic = true;
-                trace.mono = mono;
-            }
-            finish(trace);
-            return trace;
-        }
-        if (auto mono = monochromatic_color(cur)) {
-            trace.monochromatic = true;
-            trace.mono = mono;
-            trace.rounds = r;
-            finish(trace);
-            return trace;
-        }
-        if (options.detect_cycles) {
-            const Fingerprint h = fp(cur);
-            const auto it = seen.find(h.a);
-            if (it != seen.end() && it->second.first == h.b) {
-                trace.cycle = true;
-                trace.cycle_period = r - it->second.second;
-                trace.rounds = r;
-                finish(trace);
-                return trace;
-            }
-            seen.emplace(h.a, std::make_pair(h.b, r));
-        }
-    }
-
-    trace.rounds = cap;
-    finish(trace);
+    trace.final_colors = std::move(result.final_colors);
     return trace;
 }
 

@@ -48,12 +48,13 @@ struct GraphTrace {
 };
 
 /// One synchronous round over the graph; returns number of changed
-/// vertices. `scratch` must hold >= 256 zero-initialized counters and is
-/// restored to zeros before returning (epoch-free reset via touched list).
+/// vertices.
 std::size_t plurality_step(const Graph& graph, const ColorField& current, ColorField& next,
                            PluralityThreshold threshold);
 
-/// Full run with termination detection, mirroring core/engine.hpp.
+/// Full run through the shared Runner (core/run/runner.hpp) via
+/// graph/graph_engine.hpp - identical terminal-round semantics to the
+/// torus drivers.
 GraphTrace simulate_plurality(const Graph& graph, const ColorField& initial,
                               const GraphSimulationOptions& options = {});
 

@@ -1,7 +1,10 @@
 #include "graph/temporal.hpp"
 
 #include <array>
+#include <utility>
+#include <vector>
 
+#include "core/run/runner.hpp"
 #include "core/smp_rule.hpp"
 #include "util/rng.hpp"
 
@@ -57,6 +60,54 @@ Color decide_partial(Color own, const std::array<Color, grid::kDegree>& nbr,
     return best_color;
 }
 
+/// The temporal SMP process as a run-layer engine: the rule is
+/// round-dependent (edge availability is a deterministic function of
+/// (seed, round, edge)), so a quiescent round is not terminal - the Runner
+/// is told via RunOptions::stop_on_quiescence = false.
+class TemporalEngine {
+  public:
+    TemporalEngine(const grid::Torus& torus, ColorField initial, double edge_up,
+                   std::uint64_t seed)
+        : torus_(&torus), edge_up_(edge_up), seed_(seed), cur_(std::move(initial)),
+          next_(cur_.size()) {}
+
+    std::size_t step() { return step_impl(nullptr); }
+    std::size_t step_collect(std::vector<CellChange>& out) { return step_impl(&out); }
+
+    const ColorField& colors() const noexcept { return cur_; }
+    std::uint32_t round() const noexcept { return round_; }
+
+  private:
+    std::size_t step_impl(std::vector<CellChange>* out) {
+        const std::uint32_t r = round_ + 1;
+        const std::size_t n = cur_.size();
+        std::size_t changed = 0;
+        for (grid::VertexId v = 0; v < n; ++v) {
+            const auto nbrs = torus_->neighbors(v);
+            std::array<Color, grid::kDegree> nbr_colors;
+            std::array<bool, grid::kDegree> up;
+            for (std::size_t s = 0; s < grid::kDegree; ++s) {
+                nbr_colors[s] = cur_[nbrs[s]];
+                up[s] = edge_present(seed_, r, v, nbrs[s], edge_up_);
+            }
+            const Color next = decide_partial(cur_[v], nbr_colors, up);
+            next_[v] = next;
+            changed += (next != cur_[v]);
+        }
+        if (changed != 0 && out != nullptr) append_changes(cur_, next_, *out);
+        cur_.swap(next_);
+        ++round_;
+        return changed;
+    }
+
+    const grid::Torus* torus_;
+    double edge_up_;
+    std::uint64_t seed_;
+    ColorField cur_;
+    ColorField next_;
+    std::uint32_t round_ = 0;
+};
+
 } // namespace
 
 TemporalTrace simulate_temporal(const grid::Torus& torus, const ColorField& initial,
@@ -65,60 +116,28 @@ TemporalTrace simulate_temporal(const grid::Torus& torus, const ColorField& init
     DYNAMO_REQUIRE(options.edge_up >= 0.0 && options.edge_up <= 1.0,
                    "edge availability outside [0, 1]");
     const std::size_t n = torus.size();
-    const std::uint32_t cap = options.max_rounds != 0
-                                  ? options.max_rounds
-                                  : static_cast<std::uint32_t>(8 * n + 64);
+
+    RunOptions run_options;
+    run_options.max_rounds = options.max_rounds != 0
+                                 ? options.max_rounds
+                                 : static_cast<std::uint32_t>(8 * n + 64);
+    run_options.target = options.target;
+    run_options.detect_cycles = false;      // trajectories are round-dependent
+    run_options.stop_on_quiescence = false; // links may come back up
+
+    TemporalEngine engine(torus, initial, options.edge_up, options.seed);
+    RunResult result = run_to_terminal(engine, run_options);
 
     TemporalTrace trace;
-    const bool track = options.target.has_value();
-    const Color k = options.target.value_or(kUnset);
-
-    ColorField cur = initial, next(n);
-    const auto finish = [&](std::uint32_t rounds) {
-        trace.rounds = rounds;
-        if (track) trace.final_target_count = count_color(cur, k);
-        trace.final_colors = cur;
-    };
-
-    if (auto mono = monochromatic_color(cur)) {
-        trace.monochromatic = true;
-        trace.mono = mono;
-        finish(0);
-        return trace;
+    trace.monochromatic = result.termination == Termination::Monochromatic;
+    trace.mono = result.mono;
+    trace.rounds = result.rounds;
+    trace.total_recolorings = result.total_recolorings;
+    trace.monotone = result.monotone;
+    if (options.target) {
+        trace.final_target_count = count_color(result.final_colors, *options.target);
     }
-
-    for (std::uint32_t r = 1; r <= cap; ++r) {
-        std::size_t changed = 0;
-        for (grid::VertexId v = 0; v < n; ++v) {
-            const auto nbrs = torus.neighbors(v);
-            std::array<Color, grid::kDegree> nbr_colors;
-            std::array<bool, grid::kDegree> up;
-            for (std::size_t s = 0; s < grid::kDegree; ++s) {
-                nbr_colors[s] = cur[nbrs[s]];
-                up[s] = edge_present(options.seed, r, v, nbrs[s], options.edge_up);
-            }
-            const Color out = decide_partial(cur[v], nbr_colors, up);
-            next[v] = out;
-            changed += (out != cur[v]);
-        }
-        if (track) {
-            for (std::size_t v = 0; v < n; ++v) {
-                if (cur[v] == k && next[v] != k) {
-                    trace.monotone = false;
-                    break;
-                }
-            }
-        }
-        cur.swap(next);
-        trace.total_recolorings += changed;
-        if (auto mono = monochromatic_color(cur)) {
-            trace.monochromatic = true;
-            trace.mono = mono;
-            finish(r);
-            return trace;
-        }
-    }
-    finish(cap);
+    trace.final_colors = std::move(result.final_colors);
     return trace;
 }
 

@@ -20,7 +20,8 @@
 
 #include <array>
 
-#include "core/engine.hpp"
+#include "core/run/simulate.hpp"
+#include "core/smp_rule.hpp"
 
 namespace dynamo::rules {
 
@@ -37,9 +38,9 @@ struct IncrementalRule {
     }
 };
 
-/// Simulate the incremental rule.
-inline Trace simulate_incremental(const grid::Torus& torus, const ColorField& initial,
-                                  Color num_colors, const SimulationOptions& options = {}) {
+/// Simulate the incremental rule through the shared run API (core/run/).
+inline RunResult simulate_incremental(const grid::Torus& torus, const ColorField& initial,
+                                      Color num_colors, const RunOptions& options = {}) {
     DYNAMO_REQUIRE(num_colors >= 2, "ordered rule needs at least two colors");
     for (const Color c : initial) {
         DYNAMO_REQUIRE(c >= 1 && c <= num_colors, "color outside the ordered scale");

@@ -20,7 +20,7 @@
 
 #include <array>
 
-#include "core/engine.hpp"
+#include "core/run/simulate.hpp"
 #include "core/transform.hpp"
 
 namespace dynamo::rules {
@@ -75,9 +75,11 @@ inline constexpr MajorityRule simple_majority_prefer_current() noexcept {
     return MajorityRule{MajorityKind::Simple, TiePolicy::PreferCurrent, false};
 }
 
-/// Simulate a bi-colored field under a majority rule.
-inline Trace simulate_majority(const grid::Torus& torus, const ColorField& initial,
-                               const MajorityRule& rule, const SimulationOptions& options = {}) {
+/// Simulate a bi-colored field under a majority rule, through the shared
+/// run API (core/run/): Backend::Auto routes non-SMP rules to the generic
+/// table-driven sweep, with the Runner's observers doing the bookkeeping.
+inline RunResult simulate_majority(const grid::Torus& torus, const ColorField& initial,
+                                   const MajorityRule& rule, const RunOptions& options = {}) {
     DYNAMO_REQUIRE(is_bicolored(initial), "majority baselines require a bi-colored field");
     return simulate_rule(torus, initial, rule, options);
 }

@@ -7,12 +7,23 @@
 #include "analysis/montecarlo.hpp"
 #include "analysis/stats.hpp"
 #include "grid/torus.hpp"
+#include "util/parallel.hpp"
 
 namespace dynamo::analysis {
 namespace {
 
 using grid::Topology;
 using grid::Torus;
+
+// Expected values of the cell pinned by DensityPointRegressionPin below.
+// Regenerate (after an *intentional* semantics change) by printing the
+// DensityPoint fields for the same parameters.
+constexpr std::size_t kPinKMono = 13;
+constexpr std::size_t kPinOtherMono = 0;
+constexpr std::size_t kPinCycles = 11;
+constexpr std::size_t kPinFixedPoints = 24;
+constexpr double kPinMeanRoundsMono = 5.3076923076923075;
+constexpr double kPinMeanFinalKFraction = 0.83268229166666663;
 
 TEST(Census, CountsAndDominant) {
     const ColorField f{1, 2, 2, 3, 2, 1};
@@ -85,8 +96,7 @@ TEST(MonteCarlo, RandomColoringDensityIsUnbiased) {
 
 TEST(MonteCarlo, DensityPointAccountingAddsUp) {
     Torus t(Topology::ToroidalMesh, 6, 6);
-    Xoshiro256 rng(31);
-    const DensityPoint p = run_density_point(t, 1, 0.4, 4, 50, rng);
+    const DensityPoint p = run_density_point(t, 1, 0.4, 4, 50, 31);
     EXPECT_EQ(p.trials, 50u);
     EXPECT_LE(p.k_mono + p.other_mono + p.cycles + p.fixed_points, p.trials);
     EXPECT_GE(p.mean_final_k_fraction, 0.0);
@@ -97,13 +107,12 @@ TEST(MonteCarlo, DensityPointAccountingAddsUp) {
 
 TEST(MonteCarlo, ExtremeDensitiesBehaveAsExpected) {
     Torus t(Topology::ToroidalMesh, 6, 6);
-    Xoshiro256 rng(37);
     // Density 1: the initial field is already k-monochromatic.
-    const DensityPoint high = run_density_point(t, 1, 1.0, 4, 10, rng);
+    const DensityPoint high = run_density_point(t, 1, 1.0, 4, 10, 37);
     EXPECT_EQ(high.k_mono, 10u);
     EXPECT_DOUBLE_EQ(high.p_k_mono(), 1.0);
     // Density 0: k never appears (it cannot be created from nothing).
-    const DensityPoint low = run_density_point(t, 1, 0.0, 4, 10, rng);
+    const DensityPoint low = run_density_point(t, 1, 0.0, 4, 10, 37);
     EXPECT_EQ(low.k_mono, 0u);
 }
 
@@ -118,6 +127,40 @@ TEST(MonteCarlo, SweepIsDeterministicPerSeed) {
         EXPECT_EQ(a[i].cycles, b[i].cycles);
         EXPECT_DOUBLE_EQ(a[i].mean_final_k_fraction, b[i].mean_final_k_fraction);
     }
+}
+
+TEST(MonteCarlo, SerialAndPooledDensityPointsAreBitIdentical) {
+    // Per-trial RNG substreams make the table cell a pure function of
+    // (topology, k, density, |C|, trials, seed): the ThreadPool changes
+    // only who executes a trial, never what it computes - and the
+    // reduction runs in trial order, so even the floating-point means
+    // match exactly.
+    Torus t(Topology::ToroidalMesh, 8, 8);
+    const DensityPoint serial = run_density_point(t, 1, 0.45, 4, 48, 0xd00d, nullptr);
+    for (const unsigned workers : {2u, 3u, 5u}) {
+        ThreadPool pool(workers);
+        const DensityPoint pooled = run_density_point(t, 1, 0.45, 4, 48, 0xd00d, &pool);
+        EXPECT_EQ(serial.k_mono, pooled.k_mono) << workers;
+        EXPECT_EQ(serial.other_mono, pooled.other_mono) << workers;
+        EXPECT_EQ(serial.cycles, pooled.cycles) << workers;
+        EXPECT_EQ(serial.fixed_points, pooled.fixed_points) << workers;
+        EXPECT_DOUBLE_EQ(serial.mean_rounds_mono, pooled.mean_rounds_mono) << workers;
+        EXPECT_DOUBLE_EQ(serial.mean_final_k_fraction, pooled.mean_final_k_fraction) << workers;
+    }
+}
+
+TEST(MonteCarlo, DensityPointRegressionPin) {
+    // Pins one M1 table cell (mesh 8x8, k=1, rho=0.45, |C|=4, 48 trials,
+    // seed 0xd00d) so any change to the substream scheme, the engines, or
+    // the reduction order is caught as a diff, not silently shipped.
+    Torus t(Topology::ToroidalMesh, 8, 8);
+    const DensityPoint p = run_density_point(t, 1, 0.45, 4, 48, 0xd00d);
+    EXPECT_EQ(p.k_mono, kPinKMono);
+    EXPECT_EQ(p.other_mono, kPinOtherMono);
+    EXPECT_EQ(p.cycles, kPinCycles);
+    EXPECT_EQ(p.fixed_points, kPinFixedPoints);
+    EXPECT_NEAR(p.mean_rounds_mono, kPinMeanRoundsMono, 1e-12);
+    EXPECT_NEAR(p.mean_final_k_fraction, kPinMeanFinalKFraction, 1e-12);
 }
 
 } // namespace
