@@ -9,7 +9,7 @@
 //   Prop. 2: an upper bound under reverse *strong* majority transfers as
 //            an upper bound. We verify collapsed SMP constructions flood
 //            under simple majority and measure what strong majority needs.
-#include "core/search.hpp"
+#include "core/search/sharded.hpp"
 #include "core/transform.hpp"
 #include "rules/majority.hpp"
 
@@ -70,13 +70,16 @@ int main() {
     } cases[] = {{grid::Topology::ToroidalMesh, 3, 3},
                  {grid::Topology::ToroidalMesh, 3, 4},
                  {grid::Topology::TorusCordalis, 3, 3}};
+    ThreadPool pool;
     for (const auto& c : cases) {
         grid::Torus torus(c.topo, c.m, c.n);
         const std::uint32_t bi =
             min_majority_dynamo(torus, rules::reverse_simple_majority(), 6);
-        SearchOptions opts;
-        opts.total_colors = 3;
-        const SearchOutcome smp = exhaustive_min_dynamo(
+        ParallelSearchOptions opts;
+        opts.base.total_colors = 3;
+        opts.num_shards = 2 * pool.size();
+        opts.pool = &pool;
+        const SearchOutcome smp = parallel_min_dynamo(
             torus, std::min<std::uint32_t>(6, static_cast<std::uint32_t>(torus.size())), opts);
         const std::uint32_t multi =
             smp.min_size == SearchOutcome::kNoDynamo ? 0 : smp.min_size;

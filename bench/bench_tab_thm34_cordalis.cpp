@@ -2,7 +2,7 @@
 // the n+1 construction across a size sweep, with condition checks,
 // monotone-dynamo verification, color counts, and the tiny-torus
 // exhaustive probe for the lower bound.
-#include "core/search.hpp"
+#include "core/search/sharded.hpp"
 
 #include "bench_common.hpp"
 
@@ -35,9 +35,12 @@ int main(int argc, char** argv) {
     print_banner(std::cout, "Theorem 3 exhaustive probe on the 3x3 cordalis (finding D5)");
     {
         grid::Torus torus(grid::Topology::TorusCordalis, 3, 3);
-        SearchOptions opts;
-        opts.total_colors = 3;
-        const SearchOutcome out = exhaustive_min_dynamo(torus, 3, opts);
+        ThreadPool pool;
+        ParallelSearchOptions opts;
+        opts.base.total_colors = 3;
+        opts.num_shards = 2 * pool.size();
+        opts.pool = &pool;
+        const SearchOutcome out = parallel_min_dynamo(torus, 3, opts);
         ConsoleTable probe({"torus", "|C|", "paper bound", "exhaustive min size", "complete"});
         probe.add_row("3x3", 3, cordalis_size_lower_bound(3, 3),
                       out.min_size == SearchOutcome::kNoDynamo ? std::string("none <= 3")

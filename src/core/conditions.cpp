@@ -1,6 +1,7 @@
 #include "core/conditions.hpp"
 
 #include <numeric>
+#include <optional>
 #include <sstream>
 
 namespace dynamo {
@@ -45,6 +46,44 @@ std::string coord_str(const grid::Torus& torus, grid::VertexId v) {
     return os.str();
 }
 
+/// Condition (1) for all non-seed classes at once, shared by both
+/// validator variants: one DSU pass suffices because only same-color
+/// edges are united, so distinct classes never interact. Returns the
+/// first vertex closing a monochromatic cycle, or nullopt when every
+/// non-seed class is a forest.
+std::optional<grid::VertexId> find_forest_violation(const grid::Torus& torus,
+                                                    const ColorField& field, Color k) {
+    Dsu dsu(torus.size());
+    for (grid::VertexId v = 0; v < torus.size(); ++v) {
+        if (field[v] == k) continue;
+        for (const grid::VertexId u : torus.neighbors(v)) {
+            if (u <= v || field[u] != field[v]) continue;
+            if (!dsu.unite(v, u)) return v;
+        }
+    }
+    return std::nullopt;
+}
+
+/// Condition (2)'s per-vertex test, shared by every validator variant: do
+/// v's FOREIGN neighbors - colors outside {field[v], k} - hold pairwise
+/// different colors? For a seed vertex (field[v] == k) "foreign" is
+/// simply "non-k", which is exactly the seed-distinctness extension.
+bool foreign_neighbors_distinct(const grid::Torus& torus, const ColorField& field,
+                                grid::VertexId v, Color k) {
+    const Color own = field[v];
+    Color seen[grid::kDegree];
+    std::size_t count = 0;
+    for (const grid::VertexId u : torus.neighbors(v)) {
+        const Color cu = field[u];
+        if (cu == own || cu == k) continue;
+        for (std::size_t s = 0; s < count; ++s) {
+            if (seen[s] == cu) return false;
+        }
+        seen[count++] = cu;
+    }
+    return true;
+}
+
 } // namespace
 
 bool color_class_is_forest(const grid::Torus& torus, const ColorField& field, Color k_prime) {
@@ -63,51 +102,44 @@ bool color_class_is_forest(const grid::Torus& torus, const ColorField& field, Co
     return true;
 }
 
+bool theorem_conditions_hold(const grid::Torus& torus, const ColorField& field, Color k) {
+    require_complete(torus, field);
+    // Condition (1): every non-seed color class induces a forest.
+    if (find_forest_violation(torus, field, k)) return false;
+    // Condition (2): foreign neighbors pairwise distinct.
+    for (grid::VertexId v = 0; v < torus.size(); ++v) {
+        if (field[v] == k) continue;
+        if (!foreign_neighbors_distinct(torus, field, v, k)) return false;
+    }
+    return true;
+}
+
+bool seed_neighbors_distinct(const grid::Torus& torus, const ColorField& field, Color k) {
+    require_complete(torus, field);
+    for (grid::VertexId v = 0; v < torus.size(); ++v) {
+        if (field[v] != k) continue;
+        if (!foreign_neighbors_distinct(torus, field, v, k)) return false;
+    }
+    return true;
+}
+
 ConditionReport check_theorem_conditions(const grid::Torus& torus, const ColorField& field,
                                          Color k) {
     require_complete(torus, field);
     ConditionReport report;
 
     // Condition (1): every non-seed color class induces a forest.
-    // One DSU pass suffices: only same-color edges are united, so distinct
-    // classes never interact.
-    {
-        Dsu dsu(torus.size());
-        for (grid::VertexId v = 0; v < torus.size() && report.forest_ok; ++v) {
-            if (field[v] == k) continue;
-            for (const grid::VertexId u : torus.neighbors(v)) {
-                if (u <= v || field[u] != field[v]) continue;
-                if (!dsu.unite(v, u)) {
-                    report.forest_ok = false;
-                    report.violation = "color class " + std::to_string(int(field[v])) +
-                                       " contains a cycle through " + coord_str(torus, v);
-                    break;
-                }
-            }
-        }
+    if (const auto v = find_forest_violation(torus, field, k)) {
+        report.forest_ok = false;
+        report.violation = "color class " + std::to_string(int(field[*v])) +
+                           " contains a cycle through " + coord_str(torus, *v);
     }
 
     // Condition (2): for every non-k vertex x, neighbors outside
     // V_{r(x)} u V_k have pairwise different colors.
     for (grid::VertexId v = 0; v < torus.size(); ++v) {
         if (field[v] == k) continue;
-        const Color own = field[v];
-        Color seen[grid::kDegree];
-        std::size_t count = 0;
-        bool bad = false;
-        for (const grid::VertexId u : torus.neighbors(v)) {
-            const Color cu = field[u];
-            if (cu == own || cu == k) continue;
-            for (std::size_t s = 0; s < count; ++s) {
-                if (seen[s] == cu) {
-                    bad = true;
-                    break;
-                }
-            }
-            if (bad) break;
-            seen[count++] = cu;
-        }
-        if (bad) {
+        if (!foreign_neighbors_distinct(torus, field, v, k)) {
             report.distinct_ok = false;
             if (report.violation.empty()) {
                 report.violation = "vertex " + coord_str(torus, v) +

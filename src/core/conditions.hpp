@@ -35,6 +35,27 @@ struct ConditionReport {
 ConditionReport check_theorem_conditions(const grid::Torus& torus, const ColorField& field,
                                          Color k);
 
+/// Boolean-only fast path of check_theorem_conditions: exactly the same
+/// predicate, no violation strings - for the randomized property tests and
+/// the solver portfolio's validation loops, which evaluate it thousands of
+/// times per run.
+bool theorem_conditions_hold(const grid::Torus& torus, const ColorField& field, Color k);
+
+/// Condition (2) extended to the SEED class: every k-colored vertex's
+/// non-k neighbors hold pairwise different colors, so no seed can ever be
+/// outvoted by a repeated foreign color.
+///
+/// REPRODUCTION FINDING (property net, tests/test_properties.cpp): the
+/// two conditions above alone do NOT imply a monotone dynamo, even for
+/// the theorem seed geometries - the solver finds satisfying colorings
+/// that stall as fixed points or flip seeds (non-monotone). With this
+/// third condition added, every sampled satisfying coloring of the
+/// Theorem 2/4/6 seed sets verifies as a monotone dynamo (191/191 across
+/// topologies, sizes 4-7 and |C| in {4,5}). The paper's closed-form
+/// patterns satisfy it implicitly; the checker exempting V_k is where
+/// the repo's abstraction of the theorems leaked.
+bool seed_neighbors_distinct(const grid::Torus& torus, const ColorField& field, Color k);
+
 /// Condition (1) alone for one specific color class.
 bool color_class_is_forest(const grid::Torus& torus, const ColorField& field, Color k_prime);
 

@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "core/run/runner.hpp"
+#include "core/sim/packed_engine.hpp"
+
 namespace dynamo {
 
 std::string DynamoVerdict::summary() const {
@@ -27,6 +30,32 @@ DynamoVerdict verify_dynamo(const grid::Torus& torus, const ColorField& initial,
     verdict.is_dynamo = verdict.trace.reached_mono(k);
     verdict.is_monotone = verdict.is_dynamo && verdict.trace.monotone;
     return verdict;
+}
+
+namespace {
+
+QuickVerdict classify_run(const RunResult& result, Color k) {
+    QuickVerdict verdict;
+    verdict.rounds = result.rounds;
+    verdict.is_dynamo = result.reached_mono(k);
+    verdict.is_monotone = verdict.is_dynamo && result.monotone;
+    return verdict;
+}
+
+} // namespace
+
+QuickVerdict quick_verify_dynamo(const grid::Torus& torus, const ColorField& initial, Color k) {
+    sim::PackedEngine engine(torus, initial);
+    RunOptions opts;
+    opts.target = k;
+    return classify_run(run_to_terminal(engine, opts), k);
+}
+
+QuickVerdict quick_verify_dynamo(sim::PackedEngine& engine, const ColorField& initial, Color k) {
+    engine.reset(initial);
+    RunOptions opts;
+    opts.target = k;
+    return classify_run(run_to_terminal(engine, opts), k);
 }
 
 bool has_non_dynamo_certificate(const grid::Torus& torus, const ColorField& initial, Color k) {

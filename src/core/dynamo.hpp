@@ -16,6 +16,10 @@
 
 namespace dynamo {
 
+namespace sim {
+class PackedEngine;
+}
+
 struct DynamoVerdict {
     bool is_dynamo = false;    ///< reached the k-monochromatic configuration
     bool is_monotone = false;  ///< and the k-set never shrank (Definition 3)
@@ -28,6 +32,23 @@ struct DynamoVerdict {
 /// Simulate and classify. `pool` may be null (serial).
 DynamoVerdict verify_dynamo(const grid::Torus& torus, const ColorField& initial, Color k,
                             ThreadPool* pool = nullptr);
+
+/// Trace-free verdict for search inner loops: same classification as
+/// verify_dynamo, but simulated on the packed full-sweep engine via
+/// run_to_terminal without retaining the evidence Trace. Semantically
+/// identical (the engines are bit-identical; tests/test_search_parallel.cpp
+/// cross-checks the verdicts), just cheaper per candidate.
+struct QuickVerdict {
+    bool is_dynamo = false;
+    bool is_monotone = false;
+    std::uint32_t rounds = 0;
+};
+QuickVerdict quick_verify_dynamo(const grid::Torus& torus, const ColorField& initial, Color k);
+
+/// Hot-loop overload: resets a caller-owned engine to `initial` and runs
+/// it, so per-candidate heap allocation drops out of search inner loops.
+/// The engine's torus must match the field.
+QuickVerdict quick_verify_dynamo(sim::PackedEngine& engine, const ColorField& initial, Color k);
 
 /// Fast *negative* certificate (no simulation): if the complement of S_k
 /// already contains a non-k-block (Definition 5), S_k cannot be a dynamo.

@@ -1,70 +1,20 @@
 // dynamo/core/search.hpp
 //
-// Exhaustive verification of the paper's lower bounds (Theorems 1, 3, 5
-// and Proposition 3) on small tori.
+// Thin compatibility shim over the exhaustive-search subsystem, kept so
+// seed-era call sites (and the tests pinning their exact accounting)
+// compile unchanged. The subsystem itself lives in src/core/search/:
 //
-// A dynamo in this paper depends on the *entire* initial coloring, not
-// just the seed set (Definition 2 remark), so an honest exhaustive check
-// enumerates every seed set of a given size AND every coloring of the
-// complement over the palette, simulating each. That is exponential, so:
-//   * it is feasible (and offered) only for tiny tori / small palettes;
-//   * optional sound prunes (bounding-box necessity, non-k-block
-//     certificates) can cut the work, but the verification benches run
-//     with prunes off so the result does not assume the lemmas under test;
-//   * every outcome reports whether the search was complete or truncated
-//     by budget - truncation is never silent.
+//   * search/types.hpp     - SearchOptions / SearchOutcome / SeedProbe;
+//   * search/enumerate.hpp - the serial full enumeration these entry
+//     points resolve to (exhaustive_min_dynamo, seed_set_admits_dynamo),
+//     kept verbatim as the oracle;
+//   * search/canonical.hpp - the torus symmetry group + color-relabeling
+//     quotient;
+//   * search/sharded.hpp   - parallel_min_dynamo, the symmetry-reduced
+//     sharded driver new code should prefer (bit-identical serial vs
+//     pooled, checkpoint/resume, exact coverage accounting);
+//   * search/portfolio.hpp - the racing condition-solver portfolio.
 #pragma once
 
-#include <cstdint>
-#include <limits>
-#include <vector>
-
-#include "core/coloring.hpp"
-#include "grid/torus.hpp"
-
-namespace dynamo {
-
-struct SearchOptions {
-    Color total_colors = 3;        ///< |C|; seeds hold color 1, others 2..|C|
-    bool require_monotone = true;  ///< count only monotone dynamos (Thm 1/3/5 scope)
-    bool use_box_prune = false;    ///< apply Lemma-1 bounding-box necessity
-    bool use_block_prune = false;  ///< apply non-k-block certificates
-    std::uint64_t max_sims = 50'000'000;  ///< simulation budget
-};
-
-struct SearchOutcome {
-    /// True when every candidate at every probed size was examined
-    /// (i.e. the budget did not truncate the search).
-    bool complete = false;
-    /// Smallest size for which some (seed set, coloring) pair is a
-    /// (monotone) dynamo; kNoDynamo if none exists up to `probed_max_size`.
-    std::uint32_t min_size = kNoDynamo;
-    std::uint32_t probed_max_size = 0;
-    std::uint64_t sims = 0;
-    std::uint64_t candidates = 0;  ///< (seed set, coloring) pairs considered
-    std::vector<grid::VertexId> witness_seeds;
-    ColorField witness_field;
-
-    static constexpr std::uint32_t kNoDynamo = std::numeric_limits<std::uint32_t>::max();
-};
-
-/// Probe seed-set sizes 1, 2, ... until a dynamo is found (returning the
-/// minimum size) or `max_size` is exhausted. k is fixed to color 1; by
-/// color symmetry of the SMP rule this loses no generality.
-SearchOutcome exhaustive_min_dynamo(const grid::Torus& torus, std::uint32_t max_size,
-                                    const SearchOptions& options = {});
-
-/// Does ANY coloring of the non-seed vertices (over colors 2..|C|) make
-/// `seeds` a (monotone, per options) dynamo for color 1? Exhaustive over
-/// colorings; complete unless the budget is hit.
-struct SeedProbe {
-    bool found = false;
-    bool complete = false;
-    std::uint64_t sims = 0;
-    ColorField witness_field;
-};
-SeedProbe seed_set_admits_dynamo(const grid::Torus& torus,
-                                 const std::vector<grid::VertexId>& seeds,
-                                 const SearchOptions& options = {});
-
-} // namespace dynamo
+#include "core/search/enumerate.hpp"
+#include "core/search/types.hpp"

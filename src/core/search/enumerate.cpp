@@ -1,16 +1,12 @@
-#include "core/search.hpp"
+#include "core/search/enumerate.hpp"
 
 #include "core/blocks.hpp"
 #include "core/dynamo.hpp"
 
 namespace dynamo {
 
-namespace {
+namespace search_detail {
 
-constexpr Color kSeedColor = 1;
-
-/// Advance a combination (sorted index vector over [0, n)); returns false
-/// after the last combination.
 bool next_combination(std::vector<std::uint32_t>& comb, std::uint32_t n) {
     const std::size_t s = comb.size();
     for (std::size_t idx = s; idx-- > 0;) {
@@ -25,7 +21,6 @@ bool next_combination(std::vector<std::uint32_t>& comb, std::uint32_t n) {
     return false;
 }
 
-/// Advance an odometer over `digits` base-`base` values; false on wrap.
 bool next_odometer(std::vector<std::uint8_t>& digits, std::uint8_t base) {
     for (std::size_t idx = digits.size(); idx-- > 0;) {
         if (++digits[idx] < base) return true;
@@ -33,6 +28,12 @@ bool next_odometer(std::vector<std::uint8_t>& digits, std::uint8_t base) {
     }
     return false;
 }
+
+} // namespace search_detail
+
+namespace {
+
+constexpr Color kSeedColor = 1;
 
 struct ProbeContext {
     const grid::Torus& torus;
@@ -81,7 +82,7 @@ int probe_seed_set(ProbeContext& ctx, const std::vector<grid::VertexId>& seeds,
             witness = field;
             return 1;
         }
-    } while (next_odometer(digits, base));
+    } while (search_detail::next_odometer(digits, base));
     return 0;
 }
 
@@ -113,6 +114,13 @@ SearchOutcome exhaustive_min_dynamo(const grid::Torus& torus, std::uint32_t max_
     std::uint64_t sims = 0, candidates = 0;
     ProbeContext ctx{torus, options, sims, candidates};
 
+    const auto fill_counts = [&] {
+        outcome.sims = sims;
+        outcome.candidates = candidates;
+        outcome.covered = candidates;  // no quotienting: one orbit each
+        outcome.reduction_factor = 1.0;
+    };
+
     for (std::uint32_t size = 1; size <= max_size; ++size) {
         std::vector<std::uint32_t> comb(size);
         for (std::uint32_t idx = 0; idx < size; ++idx) comb[idx] = idx;
@@ -125,28 +133,25 @@ SearchOutcome exhaustive_min_dynamo(const grid::Torus& torus, std::uint32_t max_
             if (r == -1) {
                 outcome.complete = false;
                 outcome.probed_max_size = size;
-                outcome.sims = sims;
-                outcome.candidates = candidates;
+                fill_counts();
                 return outcome;
             }
             if (r == 1) {
                 outcome.complete = true;
                 outcome.min_size = size;
                 outcome.probed_max_size = size;
-                outcome.sims = sims;
-                outcome.candidates = candidates;
+                fill_counts();
                 outcome.witness_seeds = std::move(seeds);
                 outcome.witness_field = std::move(witness);
                 return outcome;
             }
-            more = next_combination(comb, n);
+            more = search_detail::next_combination(comb, n);
         }
         outcome.probed_max_size = size;
     }
 
     outcome.complete = true;
-    outcome.sims = sims;
-    outcome.candidates = candidates;
+    fill_counts();
     return outcome;
 }
 

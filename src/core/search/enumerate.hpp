@@ -1,0 +1,49 @@
+// dynamo/core/search/enumerate.hpp
+//
+// The seed-era serial full enumeration: every seed set of a given size
+// AND every coloring of the complement, simulated one by one. Exponential,
+// so feasible only for tiny tori / small palettes; optional sound prunes
+// (bounding-box necessity, non-k-block certificates) can cut the work, but
+// the verification benches run with prunes off so the result does not
+// assume the lemmas under test.
+//
+// This driver is kept verbatim from the seed implementation for two jobs:
+//   * the thin-shim target of the legacy core/search.hpp entry points
+//     (seed call sites and their pinned tests keep exact behaviour,
+//     including the sims == budget + 1 truncation accounting);
+//   * the brute-force oracle that the symmetry-reduced sharded driver
+//     (core/search/sharded.hpp) is tested against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/search/types.hpp"
+
+namespace dynamo {
+
+/// Probe seed-set sizes 1, 2, ... until a dynamo is found (returning the
+/// minimum size) or `max_size` is exhausted. k is fixed to color 1; by
+/// color symmetry of the SMP rule this loses no generality.
+SearchOutcome exhaustive_min_dynamo(const grid::Torus& torus, std::uint32_t max_size,
+                                    const SearchOptions& options = {});
+
+/// Exhaustive coloring probe for one fixed seed set (see SeedProbe).
+SeedProbe seed_set_admits_dynamo(const grid::Torus& torus,
+                                 const std::vector<grid::VertexId>& seeds,
+                                 const SearchOptions& options = {});
+
+namespace search_detail {
+
+/// Advance a combination (sorted index vector over [0, n)); returns false
+/// after the last combination. Shared by both search drivers.
+bool next_combination(std::vector<std::uint32_t>& comb, std::uint32_t n);
+
+/// Advance an odometer over `digits` base-`base` values; false on wrap.
+/// The raw (non-canonical) complement-coloring enumeration of both
+/// drivers.
+bool next_odometer(std::vector<std::uint8_t>& digits, std::uint8_t base);
+
+} // namespace search_detail
+
+} // namespace dynamo

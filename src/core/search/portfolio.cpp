@@ -1,0 +1,64 @@
+#include "core/search/portfolio.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "core/conditions.hpp"
+#include "core/run/batch.hpp"
+
+namespace dynamo {
+
+PortfolioResult solve_condition_portfolio(const grid::Torus& torus, const ColorField& partial,
+                                          Color k, const PortfolioOptions& options) {
+    const unsigned racers = options.num_racers;
+    DYNAMO_REQUIRE(racers >= 1, "need at least one racer");
+
+    std::vector<std::uint64_t> order_seed(racers, 0);  // racer 0: natural order
+    for (unsigned r = 1; r < racers; ++r) {
+        std::uint64_t s = substream_seed(options.seed, r);
+        if (s == 0) s = 1;  // 0 means "natural order" to the solver
+        order_seed[r] = s;
+    }
+
+    std::atomic<bool> cancel{false};
+    std::vector<SolverResult> results(racers);
+    parallel_for_shards(options.pool, racers, [&](unsigned r) {
+        SolverOptions opts = options.base;
+        opts.rng_seed = order_seed[r];
+        opts.cancel = &cancel;
+        results[r] = solve_condition_coloring(torus, partial, k, opts);
+        if (results[r].status == SolverStatus::Satisfied ||
+            results[r].status == SolverStatus::Unsat) {
+            cancel.store(true, std::memory_order_relaxed);
+        }
+    });
+
+    PortfolioResult portfolio;
+    for (unsigned r = 0; r < racers; ++r) portfolio.total_nodes += results[r].nodes;
+
+    const auto pick = [&](SolverStatus status) -> bool {
+        for (unsigned r = 0; r < racers; ++r) {
+            if (results[r].status != status) continue;
+            portfolio.status = status;
+            portfolio.winner = static_cast<int>(r);
+            portfolio.winner_rng_seed = order_seed[r];
+            if (status == SolverStatus::Satisfied) {
+                portfolio.field = std::move(results[r].field);
+            }
+            return true;
+        }
+        return false;
+    };
+    // A witness beats an Unsat proof claim if both somehow appear (they
+    // cannot, unless the solver is broken - which the validation below
+    // would then expose); either beats the indecisive statuses.
+    if (pick(SolverStatus::Satisfied)) {
+        DYNAMO_REQUIRE(theorem_conditions_hold(torus, portfolio.field, k),
+                       "portfolio winner produced an invalid coloring");
+    } else {
+        pick(SolverStatus::Unsat);
+    }
+    return portfolio;
+}
+
+} // namespace dynamo

@@ -1,0 +1,59 @@
+// dynamo/core/search/portfolio.hpp
+//
+// Solver portfolio: race the backtracking condition solver
+// (core/solver.hpp) under different value-order randomization seeds
+// across the ThreadPool. Backtracking runtimes are heavy-tailed in the
+// value order, so the minimum over a few independent orders routinely
+// beats any single order by orders of magnitude; the first racer to reach
+// a conclusion wins and cancels the rest:
+//
+//   * Satisfied  - any witness settles the instance; the portfolio
+//     re-validates it against check_theorem_conditions before reporting;
+//   * Unsat      - the solver only reports Unsat after a COMPLETE search
+//     (budget not hit), so one racer's Unsat is a proof for the whole
+//     portfolio regardless of what the others were doing;
+//   * BudgetOut  - only when every racer ran out of its node budget.
+//
+// Node accounting is summed across all racers (including the cancelled
+// ones), so the reported `total_nodes` is the true cost of the race.
+#pragma once
+
+#include <cstdint>
+
+#include "core/solver.hpp"
+#include "util/parallel.hpp"
+
+namespace dynamo {
+
+struct PortfolioOptions {
+    /// Base solver configuration. `base.max_nodes` is EACH racer's budget
+    /// (not a pool split across them): an Unsat proof must fit in a single
+    /// racer's run, so splitting would make refutations strictly weaker
+    /// than the solo solver at equal budget; cancellation keeps the
+    /// common case cheap regardless. `base.rng_seed` is ignored - each
+    /// racer derives its own order, racer 0 always running the
+    /// deterministic natural order.
+    SolverOptions base;
+    unsigned num_racers = 4;
+    ThreadPool* pool = nullptr;  ///< nullptr races the seeds sequentially
+    /// Base seed for the racers' value-order substreams.
+    std::uint64_t seed = 0x5eed;
+};
+
+struct PortfolioResult {
+    SolverStatus status = SolverStatus::BudgetOut;
+    ColorField field;             ///< valid coloring when status == Satisfied
+    std::uint64_t total_nodes = 0;  ///< summed over every racer
+    int winner = -1;              ///< racer index that decided; -1 if none
+    std::uint64_t winner_rng_seed = 0;  ///< its value-order seed (0 = natural)
+
+    bool found() const noexcept { return status == SolverStatus::Satisfied; }
+};
+
+/// Race solve_condition_coloring over `options.num_racers` value orders.
+/// Same contract as the single solver: seed vertices of `partial` must be
+/// colored, kUnset vertices are searched.
+PortfolioResult solve_condition_portfolio(const grid::Torus& torus, const ColorField& partial,
+                                          Color k, const PortfolioOptions& options = {});
+
+} // namespace dynamo

@@ -1,0 +1,344 @@
+#include "core/search/sharded.hpp"
+
+#include <atomic>
+#include <limits>
+#include <numeric>
+#include <optional>
+#include <utility>
+
+#include "core/blocks.hpp"
+#include "core/dynamo.hpp"
+#include "core/search/canonical.hpp"
+#include "core/search/enumerate.hpp"
+#include "core/sim/packed_engine.hpp"
+
+namespace dynamo {
+
+namespace {
+
+constexpr Color kSeedColor = 1;
+constexpr std::uint64_t kNoUnit = std::numeric_limits<std::uint64_t>::max();
+
+struct UnitResult {
+    int status = 0;  ///< 1 found, 0 none, -1 budget truncated
+    std::uint64_t sims = 0;
+    std::uint64_t candidates = 0;
+    std::uint64_t covered = 0;
+    ColorField witness;
+};
+
+/// Examine every (canonical) complement coloring of one canonical seed
+/// set, verifying through the packed engine. `sim_budget` is the shard's
+/// remaining slice; on exhaustion the result reports status -1 with the
+/// same "stopped right after exceeding" accounting the serial enumerator
+/// uses.
+UnitResult probe_unit(const grid::Torus& torus, const SearchOptions& opt,
+                      const SymmetryGroup* group, const std::vector<std::size_t>& stabilizer,
+                      const std::vector<grid::VertexId>& seeds, std::uint64_t sim_budget) {
+    UnitResult result;
+
+    if (opt.use_box_prune) {
+        const BoundingBox box = bounding_box(torus, seeds);
+        if (box.rows + 1 < torus.rows() || box.cols + 1 < torus.cols()) return result;
+    }
+
+    std::vector<grid::VertexId> rest;
+    {
+        std::vector<char> is_seed(torus.size(), 0);
+        for (const grid::VertexId v : seeds) is_seed[v] = 1;
+        for (grid::VertexId v = 0; v < torus.size(); ++v) {
+            if (!is_seed[v]) rest.push_back(v);
+        }
+    }
+
+    const auto base = static_cast<std::uint8_t>(opt.total_colors - 1);
+    ColorField field(torus.size(), kSeedColor);
+    ColorField scratch;
+    sim::PackedEngine engine(torus, field);  // reset per candidate, no realloc
+
+    const auto examine = [&](const std::vector<std::uint8_t>& digits) -> int {
+        for (std::size_t idx = 0; idx < rest.size(); ++idx) {
+            field[rest[idx]] = static_cast<Color>(2 + digits[idx]);
+        }
+        std::uint64_t orbit = 1;
+        if (group != nullptr) {
+            const ColoringOrbit cls =
+                classify_coloring(*group, stabilizer, field, opt.total_colors, scratch);
+            if (!cls.canonical) return 0;  // another representative covers it
+            orbit = cls.orbit_size;
+        }
+        ++result.candidates;
+        result.covered += orbit;
+        if (opt.use_block_prune && has_non_k_block(torus, field, kSeedColor)) return 0;
+        if (++result.sims > sim_budget) return -1;
+        const QuickVerdict verdict = quick_verify_dynamo(engine, field, kSeedColor);
+        return (opt.require_monotone ? verdict.is_monotone : verdict.is_dynamo) ? 1 : 0;
+    };
+
+    if (group != nullptr) {
+        RgOdometer odometer(rest.size(), base);
+        do {
+            const int r = examine(odometer.digits());
+            if (r != 0) {
+                result.status = r;
+                if (r == 1) result.witness = field;
+                return result;
+            }
+        } while (odometer.next());
+    } else {
+        std::vector<std::uint8_t> digits(rest.size(), 0);
+        do {
+            const int r = examine(digits);
+            if (r != 0) {
+                result.status = r;
+                if (r == 1) result.witness = field;
+                return result;
+            }
+        } while (search_detail::next_odometer(digits, base));
+    }
+    return result;
+}
+
+/// Per-shard accumulator; written only by the worker that owns the shard,
+/// folded in shard order after the pool barrier.
+struct ShardState {
+    std::uint64_t sims = 0;
+    std::uint64_t candidates = 0;
+    std::uint64_t covered = 0;
+    std::uint64_t found_unit = kNoUnit;
+    ColorField witness;
+};
+
+} // namespace
+
+SearchOutcome parallel_min_dynamo(const grid::Torus& torus, std::uint32_t max_size,
+                                  const ParallelSearchOptions& options,
+                                  SearchCheckpoint* checkpoint) {
+    const SearchOptions& base = options.base;
+    DYNAMO_REQUIRE(base.total_colors >= 2, "need at least two colors");
+    const auto n = static_cast<std::uint32_t>(torus.size());
+    DYNAMO_REQUIRE(max_size <= n, "max_size exceeds |V|");
+    const unsigned shards = options.num_shards;
+    DYNAMO_REQUIRE(shards >= 1, "need at least one shard");
+
+    std::optional<SymmetryGroup> group;
+    if (options.use_symmetry) group.emplace(torus);
+
+    // Everything the checkpoint cursor's meaning depends on, mixed into
+    // one fingerprint so a resume against a different torus or options is
+    // a clean error, not an out-of-bounds unit index.
+    std::uint64_t fingerprint = 0xdb4e0;
+    for (const std::uint64_t part :
+         {static_cast<std::uint64_t>(torus.topology()), static_cast<std::uint64_t>(torus.rows()),
+          static_cast<std::uint64_t>(torus.cols()), static_cast<std::uint64_t>(max_size),
+          static_cast<std::uint64_t>(base.total_colors),
+          static_cast<std::uint64_t>(base.require_monotone),
+          static_cast<std::uint64_t>(base.use_box_prune),
+          static_cast<std::uint64_t>(base.use_block_prune), base.max_sims,
+          static_cast<std::uint64_t>(shards), static_cast<std::uint64_t>(options.use_symmetry)}) {
+        fingerprint = fingerprint * 0x100000001b3ULL ^ part;  // FNV-style mix
+    }
+
+    // Fixed per-shard budget slices (remainder to the low shards): the
+    // truncation point of every shard is a pure function of the options,
+    // independent of scheduling.
+    std::vector<std::uint64_t> slice(shards, base.max_sims / shards);
+    for (unsigned s = 0; s < base.max_sims % shards; ++s) ++slice[s];
+
+    SearchOutcome outcome;
+    outcome.group_order = group ? group->order() : 1;
+
+    std::uint32_t start_size = 1;
+    std::uint64_t start_unit = 0;
+    std::vector<std::uint64_t> shard_used(shards, 0);
+    // Witness state carried across the pause windows of one size: the run
+    // keeps processing the remaining units after a find, so resumed
+    // counters stay identical to an uninterrupted run.
+    std::uint64_t best_unit = kNoUnit;
+    ColorField best_witness;
+    const bool resuming = checkpoint != nullptr && checkpoint->active;
+    if (resuming) {
+        DYNAMO_REQUIRE(checkpoint->fingerprint == fingerprint,
+                       "checkpoint was written for a different torus or search options");
+        DYNAMO_REQUIRE(checkpoint->shard_sims.size() == shards,
+                       "checkpoint was written with a different shard count");
+        start_size = checkpoint->size;
+        start_unit = checkpoint->next_unit;
+        outcome.probed_max_size = checkpoint->probed_max_size;
+        outcome.sims = checkpoint->sims;
+        outcome.candidates = checkpoint->candidates;
+        outcome.covered = checkpoint->covered;
+        shard_used = checkpoint->shard_sims;
+        best_unit = checkpoint->found_unit;
+        best_witness = checkpoint->witness_field;
+    }
+
+    const auto finalize = [&outcome] {
+        outcome.reduction_factor =
+            outcome.candidates == 0
+                ? 1.0
+                : static_cast<double>(outcome.covered) / static_cast<double>(outcome.candidates);
+    };
+    const auto deactivate = [checkpoint] {
+        if (checkpoint != nullptr) {
+            checkpoint->active = false;
+            checkpoint->found_unit = SearchCheckpoint::kNoUnit;
+            checkpoint->witness_field.clear();
+            checkpoint->unit_cache.clear();
+        }
+    };
+
+    std::uint64_t pause_left = options.pause_after_units;  // meaningful only when > 0
+
+    for (std::uint32_t size = start_size; size <= max_size; ++size) {
+        // Canonical seed sets of this size, in combination order: the
+        // deterministic unit list every decomposition width shares. When
+        // resuming mid-size the checkpoint carries the cached list, so a
+        // pause/resume loop enumerates the combination space once.
+        const bool use_cache =
+            resuming && size == start_size && !checkpoint->unit_cache.empty();
+        std::vector<std::vector<grid::VertexId>> local_units;
+        if (!use_cache) {
+            std::vector<std::uint32_t> comb(size);
+            std::iota(comb.begin(), comb.end(), 0u);
+            std::vector<grid::VertexId> seeds;
+            bool more = true;
+            while (more) {
+                seeds.assign(comb.begin(), comb.end());
+                if (!group || group->is_canonical_seed_set(seeds)) local_units.push_back(seeds);
+                more = search_detail::next_combination(comb, n);
+            }
+        }
+        const std::vector<std::vector<grid::VertexId>>& units =
+            use_cache ? checkpoint->unit_cache : local_units;
+
+        const std::uint64_t unit_begin = size == start_size ? start_unit : 0;
+        std::uint64_t unit_end = units.size();
+        if (options.pause_after_units > 0 && unit_end - unit_begin > pause_left) {
+            unit_end = unit_begin + pause_left;
+        }
+
+        std::vector<ShardState> states(shards);
+        std::atomic<bool> truncated{false};  // shared across shard workers
+        parallel_for_shards(options.pool, shards, [&](unsigned s) {
+            ShardState& st = states[s];
+            std::uint64_t used = shard_used[s];
+            if (used > slice[s]) return;  // exhausted in an earlier window
+            // Shard s owns units j with j % shards == s, globally indexed.
+            std::uint64_t j = unit_begin + (shards - unit_begin % shards + s) % shards;
+            for (; j < unit_end; j += shards) {
+                const std::vector<std::size_t> stabilizer =
+                    group ? group->set_stabilizer(units[j]) : std::vector<std::size_t>{0};
+                UnitResult unit =
+                    probe_unit(torus, base, group ? &*group : nullptr, stabilizer, units[j],
+                               slice[s] - used);
+                st.sims += unit.sims;
+                st.candidates += unit.candidates;
+                st.covered += unit.covered;
+                used += unit.sims;
+                if (unit.status == 1 && st.found_unit == kNoUnit) {
+                    st.found_unit = j;  // j ascends, so the first hit is the lowest
+                    st.witness = std::move(unit.witness);
+                }
+                if (unit.status == -1) {
+                    // Only this shard dies; the others still finish the
+                    // size, so the processed-unit set depends on budgets
+                    // and unit order alone, never on pause windowing.
+                    truncated.store(true, std::memory_order_relaxed);
+                    break;
+                }
+            }
+        });
+
+        // Deterministic fold in shard order.
+        for (unsigned s = 0; s < shards; ++s) {
+            const ShardState& st = states[s];
+            outcome.sims += st.sims;
+            outcome.candidates += st.candidates;
+            outcome.covered += st.covered;
+            shard_used[s] += st.sims;
+            if (st.found_unit < best_unit) {
+                best_unit = st.found_unit;
+                best_witness = st.witness;
+            }
+        }
+        bool any_exhausted = truncated.load(std::memory_order_relaxed);
+        for (unsigned s = 0; s < shards && !any_exhausted; ++s) {
+            any_exhausted = shard_used[s] > slice[s];  // dead since an earlier window
+        }
+
+        if (unit_end < units.size()) {  // paused mid-size
+            DYNAMO_REQUIRE(checkpoint != nullptr,
+                           "pause_after_units needs a SearchCheckpoint to write the cursor to");
+            checkpoint->active = true;
+            checkpoint->fingerprint = fingerprint;
+            checkpoint->size = size;
+            checkpoint->next_unit = unit_end;
+            checkpoint->probed_max_size = outcome.probed_max_size;
+            checkpoint->sims = outcome.sims;
+            checkpoint->candidates = outcome.candidates;
+            checkpoint->covered = outcome.covered;
+            checkpoint->shard_sims = shard_used;
+            checkpoint->found_unit = best_unit;
+            checkpoint->witness_field = best_witness;
+            if (!use_cache) checkpoint->unit_cache = std::move(local_units);
+            outcome.paused = true;
+            outcome.complete = false;
+            finalize();
+            return outcome;
+        }
+
+        // The size is fully processed (every shard ran to its unit list's
+        // end or its budget); verdicts are only issued here.
+        if (best_unit != kNoUnit) {
+            // Sizes below `size` were exhausted (else we'd have returned),
+            // so any witness here settles the minimum exactly.
+            outcome.complete = true;
+            outcome.min_size = size;
+            outcome.probed_max_size = size;
+            outcome.witness_seeds = units[best_unit];
+            outcome.witness_field = std::move(best_witness);
+            finalize();
+            deactivate();
+            return outcome;
+        }
+        if (any_exhausted) {
+            outcome.complete = false;
+            outcome.probed_max_size = size;
+            finalize();
+            deactivate();
+            return outcome;
+        }
+        outcome.probed_max_size = size;
+        if (options.pause_after_units > 0) {
+            pause_left -= unit_end - unit_begin;
+            if (pause_left == 0 && size < max_size) {  // paused on a size boundary
+                DYNAMO_REQUIRE(checkpoint != nullptr,
+                               "pause_after_units needs a SearchCheckpoint to write the cursor to");
+                checkpoint->active = true;
+                checkpoint->fingerprint = fingerprint;
+                checkpoint->size = size + 1;
+                checkpoint->next_unit = 0;
+                checkpoint->probed_max_size = outcome.probed_max_size;
+                checkpoint->sims = outcome.sims;
+                checkpoint->candidates = outcome.candidates;
+                checkpoint->covered = outcome.covered;
+                checkpoint->shard_sims = shard_used;
+                checkpoint->found_unit = kNoUnit;
+                checkpoint->witness_field.clear();
+                checkpoint->unit_cache.clear();
+                outcome.paused = true;
+                outcome.complete = false;
+                finalize();
+                return outcome;
+            }
+        }
+    }
+
+    outcome.complete = true;
+    finalize();
+    deactivate();
+    return outcome;
+}
+
+} // namespace dynamo

@@ -1,0 +1,100 @@
+// dynamo/core/search/sharded.hpp
+//
+// The symmetry-reduced, sharded exhaustive dynamo search. Replaces the
+// serial full enumerator as the workhorse behind the Theorem 1/3/5 lower
+// bound verifications:
+//
+//   * candidates are quotiented by the torus symmetry group x non-seed
+//     color relabeling (core/search/canonical.hpp); each orbit is examined
+//     once and SearchOutcome reports the exact number of raw
+//     configurations covered plus the achieved reduction factor;
+//   * the canonical enumeration is decomposed into deterministic work
+//     shards - canonical seed set j of the current size belongs to shard
+//     j mod num_shards, whatever thread runs it - so the aggregate outcome
+//     is bit-identical serial vs pooled (the BatchRunner guarantee);
+//   * every candidate is verified through the PR-1 packed engine via
+//     run_to_terminal (quick_verify_dynamo);
+//   * the simulation budget is split into fixed per-shard slices; a shard
+//     that exhausts its slice raises a shared atomic truncation flag and
+//     stops, the OTHER shards still finish the current size, and the
+//     outcome then reports complete = false (unless a witness was found,
+//     which settles the minimum exactly) - truncation is never silent,
+//     and every shard's stopping point depends only on its slice and
+//     unit order, which is what keeps paused/resumed runs identical to
+//     uninterrupted ones even under truncation;
+//   * a SearchCheckpoint captures the shard cursor (current size, next
+//     canonical unit, accumulated counters, per-shard budget use) so long
+//     searches can pause and resume with results identical to an
+//     uninterrupted run.
+//
+// Within one seed-set size every shard always processes its full slice of
+// units (no early exit on the first witness), which is what makes
+// candidate counts independent of the decomposition width; the witness is
+// the lowest-indexed canonical unit that found one.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/search/types.hpp"
+#include "util/parallel.hpp"
+
+namespace dynamo {
+
+struct ParallelSearchOptions {
+    SearchOptions base;      ///< palette, monotonicity, prunes, total sim budget
+    unsigned num_shards = 1; ///< deterministic decomposition width (fixed, not #threads)
+    ThreadPool* pool = nullptr;  ///< nullptr runs the shards serially, same results
+    /// Quotient by the torus symmetry group and color relabeling. With
+    /// false the driver enumerates the raw space (every seed set, every
+    /// coloring) - the configuration the parity tests use to compare
+    /// against the serial oracle candidate-for-candidate.
+    bool use_symmetry = true;
+    /// Pause after this many canonical seed-set units (across sizes),
+    /// writing the position to the caller's SearchCheckpoint; 0 = never.
+    std::uint64_t pause_after_units = 0;
+};
+
+/// Resumable shard cursor. Pass the same instance (and identical torus /
+/// options) back to parallel_min_dynamo to continue a paused run; the
+/// combined outcome is bit-identical to an uninterrupted run - including
+/// under budget truncation and when a witness sits beyond a pause
+/// boundary, because every shard's stopping point is determined by its
+/// budget slice and unit order alone, never by the windowing.
+struct SearchCheckpoint {
+    static constexpr std::uint64_t kNoUnit = std::numeric_limits<std::uint64_t>::max();
+
+    bool active = false;          ///< true iff a paused run can be resumed
+    /// Fingerprint of (torus, options) the cursor belongs to; resuming
+    /// against anything else is rejected loudly instead of reading a
+    /// stale cursor out of bounds.
+    std::uint64_t fingerprint = 0;
+    std::uint32_t size = 1;       ///< seed-set size being processed
+    std::uint64_t next_unit = 0;  ///< first unprocessed canonical unit at `size`
+    std::uint32_t probed_max_size = 0;
+    std::uint64_t sims = 0;
+    std::uint64_t candidates = 0;
+    std::uint64_t covered = 0;
+    std::vector<std::uint64_t> shard_sims;  ///< per-shard budget already consumed
+    /// Lowest-indexed canonical unit at `size` that found a witness so
+    /// far (kNoUnit if none), and its witness coloring. The run still
+    /// processes the remaining units of the size after a find, so
+    /// counters stay identical to an uninterrupted run.
+    std::uint64_t found_unit = kNoUnit;
+    ColorField witness_field;
+    /// Cached canonical unit list for `size`, so resume calls do not
+    /// re-enumerate the raw combination space once per window.
+    std::vector<std::vector<grid::VertexId>> unit_cache;
+};
+
+/// Minimum (monotone) dynamo size by canonical exhaustive search, probing
+/// seed-set sizes 1..max_size. Seeds hold color 1 w.l.o.g. When
+/// `checkpoint` is given and active, resumes from it; when the run pauses
+/// (pause_after_units) the checkpoint is (re)written and the outcome has
+/// paused = true.
+SearchOutcome parallel_min_dynamo(const grid::Torus& torus, std::uint32_t max_size,
+                                  const ParallelSearchOptions& options = {},
+                                  SearchCheckpoint* checkpoint = nullptr);
+
+} // namespace dynamo

@@ -144,6 +144,13 @@ class ConditionSearch {
 
         for (std::size_t vi = 0; vi < nvals; ++vi) {
             if (++nodes_ > opts_.max_nodes) return SolverStatus::BudgetOut;
+            // Poll the portfolio's cancellation flag sparsely: racing
+            // solvers stop within ~1k nodes of a rival's decision without
+            // paying an atomic load per assignment.
+            if ((nodes_ & 0x3ff) == 1 && opts_.cancel != nullptr &&
+                opts_.cancel->load(std::memory_order_relaxed)) {
+                return SolverStatus::Cancelled;
+            }
             const Color c = vals[vi];
             field_[v] = c;
 

@@ -18,6 +18,7 @@
 // compression) so backtracking is O(log n) per undo.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -30,12 +31,18 @@ struct SolverOptions {
     Color total_colors = 4;            ///< |C| including the seed color k
     std::uint64_t max_nodes = 20'000'000;  ///< search budget (assignments tried)
     std::uint64_t rng_seed = 0x5eed;   ///< value-order randomization (0 = natural order)
+    /// Cooperative cancellation: when set, the search polls this flag
+    /// periodically and returns SolverStatus::Cancelled once it is true.
+    /// The solver portfolio (core/search/portfolio.hpp) uses it to stop
+    /// the losing racers after one of them has decided the instance.
+    const std::atomic<bool>* cancel = nullptr;
 };
 
 enum class SolverStatus : std::uint8_t {
     Satisfied,   ///< found a complete valid coloring
     Unsat,       ///< search space exhausted: no coloring exists
     BudgetOut,   ///< node budget exceeded before a conclusion
+    Cancelled,   ///< stopped via SolverOptions::cancel before a conclusion
 };
 
 struct SolverResult {

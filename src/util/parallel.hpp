@@ -140,4 +140,25 @@ void parallel_for_blocks(ThreadPool* pool, std::size_t n, std::size_t min_grain,
     pool->wait();
 }
 
+/// Execute body(shard) for shard = 0 .. num_shards - 1, one job per shard.
+/// The decomposition primitive of the sharded search driver: the SHARD, not
+/// the worker, is the unit of determinism - each shard owns a fixed slice
+/// of the work regardless of which thread runs it or in what order, so the
+/// aggregate (folded in shard order after this returns) is bit-identical
+/// serial vs pooled. Runs inline in shard order when pool is null or
+/// single-threaded. body must write only shard-private state; any shared
+/// flags it touches must be atomic.
+template <typename Body>
+void parallel_for_shards(ThreadPool* pool, unsigned num_shards, const Body& body) {
+    DYNAMO_REQUIRE(num_shards >= 1, "need at least one shard");
+    if (pool == nullptr || pool->size() <= 1) {
+        for (unsigned s = 0; s < num_shards; ++s) body(s);
+        return;
+    }
+    for (unsigned s = 0; s < num_shards; ++s) {
+        pool->submit([s, &body] { body(s); });
+    }
+    pool->wait();
+}
+
 } // namespace dynamo

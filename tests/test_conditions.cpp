@@ -5,6 +5,7 @@
 
 #include "core/builders.hpp"
 #include "core/conditions.hpp"
+#include "util/rng.hpp"
 
 namespace dynamo {
 namespace {
@@ -134,6 +135,38 @@ TEST(Conditions, RejectIncompleteFields) {
     ColorField f(t.size(), 1);
     f[5] = kUnset;
     EXPECT_THROW(check_theorem_conditions(t, f, 1), std::invalid_argument);
+}
+
+TEST(Conditions, BoolFastPathAgreesWithTheReportingValidator) {
+    // theorem_conditions_hold promises 'exactly the same predicate' as
+    // check_theorem_conditions with the diagnostics stripped; this parity
+    // net is what keeps the two from drifting. Random fields are biased
+    // toward sparse palettes so both accepting and rejecting cases occur,
+    // plus the structured builder configurations as accepting anchors.
+    Xoshiro256 rng(0xc0de);
+    int accepted = 0, rejected = 0;
+    for (const Topology topo :
+         {Topology::ToroidalMesh, Topology::TorusCordalis, Topology::TorusSerpentinus}) {
+        for (int trial = 0; trial < 120; ++trial) {
+            const auto m = static_cast<std::uint32_t>(3 + rng.below(4));
+            const auto n = static_cast<std::uint32_t>(3 + rng.below(4));
+            Torus t(topo, m, n);
+            const Color colors = static_cast<Color>(2 + rng.below(5));
+            ColorField f(t.size());
+            for (auto& c : f) c = static_cast<Color>(1 + rng.below(colors));
+            const bool fast = theorem_conditions_hold(t, f, 1);
+            ASSERT_EQ(fast, check_theorem_conditions(t, f, 1).ok())
+                << to_string(topo) << ' ' << m << 'x' << n << " trial " << trial;
+            (fast ? accepted : rejected) += 1;
+        }
+        Torus t(topo, 6, 6);
+        const Configuration cfg = topo == Topology::ToroidalMesh
+                                      ? build_theorem2_configuration(t)
+                                      : build_minimum_dynamo(t);
+        EXPECT_EQ(theorem_conditions_hold(t, cfg.field, cfg.k),
+                  check_theorem_conditions(t, cfg.field, cfg.k).ok());
+    }
+    EXPECT_GT(rejected, 0);
 }
 
 } // namespace

@@ -7,7 +7,12 @@
 //     shifting the initial field shifts the whole evolution;
 //   * idempotence of terminal states: re-running from a fixed point
 //     changes nothing;
-//   * Lemma 3's block-size bounds on randomly grown blocks.
+//   * Lemma 3's block-size bounds on randomly grown blocks;
+//   * soundness nets over the search subsystem: the Theorem 2/4/6
+//     sufficient conditions imply monotone dynamos (randomized over torus
+//     sizes, topologies and palettes, with solver-generated instances);
+//     the non-dynamo certificate never fires on accepted configurations;
+//     the Lemma-1 / block prunes never change a search outcome.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -15,7 +20,11 @@
 
 #include "core/blocks.hpp"
 #include "core/builders.hpp"
+#include "core/conditions.hpp"
+#include "core/dynamo.hpp"
 #include "core/engine.hpp"
+#include "core/search/sharded.hpp"
+#include "core/solver.hpp"
 #include "util/rng.hpp"
 
 namespace dynamo {
@@ -155,6 +164,174 @@ TEST(Lemma3, BlockSizeLowerBounds) {
                 << trial << ": block of " << block.size() << " in box " << box.rows << "x"
                 << box.cols;
         }
+    }
+}
+
+TEST(ConditionsOracle, StrictAcceptedColoringsAreMonotoneDynamos) {
+    // Theorems 2/4/6 as a property: for the theorem seed geometries, any
+    // complete coloring accepted by check_theorem_conditions AND
+    // seed_neighbors_distinct (condition (2) extended to the seed class -
+    // see the finding in core/conditions.hpp) is a monotone dynamo.
+    // Instances are generated by the backtracking solver under randomized
+    // value orders, over random torus sizes, all three topologies, and
+    // |C| in {4, 5}.
+    Xoshiro256 rng(0x0c1e);
+    int strict = 0;
+    for (const Topology topo :
+         {Topology::ToroidalMesh, Topology::TorusCordalis, Topology::TorusSerpentinus}) {
+        for (int trial = 0; trial < 64; ++trial) {
+            const auto m = static_cast<std::uint32_t>(4 + rng.below(3));
+            const auto n = static_cast<std::uint32_t>(4 + rng.below(3));
+            Torus t(topo, m, n);
+            const Configuration cfg = topo == Topology::ToroidalMesh
+                                          ? build_theorem2_configuration(t)
+                                          : build_minimum_dynamo(t);
+            ColorField partial(t.size(), kUnset);
+            for (const grid::VertexId v : cfg.seeds) partial[v] = 1;
+
+            SolverOptions opts;
+            opts.total_colors = static_cast<Color>(4 + rng.below(2));
+            opts.rng_seed = rng.next() | 1;
+            opts.max_nodes = 150'000;
+            const SolverResult result = solve_condition_coloring(t, partial, 1, opts);
+            if (!result.found()) continue;  // budget-out / unsat: nothing to test
+
+            ASSERT_TRUE(theorem_conditions_hold(t, result.field, 1))
+                << to_string(topo) << ' ' << m << 'x' << n;
+            if (!seed_neighbors_distinct(t, result.field, 1)) continue;
+            ++strict;
+            const DynamoVerdict verdict = verify_dynamo(t, result.field, 1);
+            EXPECT_TRUE(verdict.is_monotone)
+                << to_string(topo) << ' ' << m << 'x' << n << ": " << verdict.summary();
+        }
+    }
+    EXPECT_GE(strict, 10) << "too few strict instances sampled to trust the net";
+}
+
+TEST(ConditionsOracle, PlainConditionsAreNotSufficientPinnedCounterexample) {
+    // The finding itself, pinned: WITHOUT the seed-distinctness extension
+    // the checker accepts colorings of the Theorem-2 seed set that are
+    // not monotone dynamos. The hunt below is deterministic (fixed rng
+    // stream), so this documents a concrete counterexample forever; if a
+    // future change makes check_theorem_conditions imply monotone dynamos
+    // outright, this test will fail and the finding should be re-examined.
+    Xoshiro256 rng(0x0bad);
+    for (int attempt = 0; attempt < 40; ++attempt) {
+        const auto m = static_cast<std::uint32_t>(4 + rng.below(2));
+        const auto n = static_cast<std::uint32_t>(4 + rng.below(2));
+        Torus t(Topology::ToroidalMesh, m, n);
+        ColorField partial(t.size(), kUnset);
+        for (const grid::VertexId v : theorem2_seeds(t)) partial[v] = 1;
+        SolverOptions opts;
+        opts.total_colors = 4;
+        opts.rng_seed = rng.next() | 1;
+        opts.max_nodes = 150'000;
+        const SolverResult result = solve_condition_coloring(t, partial, 1, opts);
+        if (!result.found()) continue;
+        if (seed_neighbors_distinct(t, result.field, 1)) continue;
+        if (verify_dynamo(t, result.field, 1).is_monotone) continue;
+        // Found: accepted by the plain conditions, yet not a monotone
+        // dynamo - and the strict extension correctly rejects it.
+        ASSERT_TRUE(theorem_conditions_hold(t, result.field, 1));
+        SUCCEED();
+        return;
+    }
+    FAIL() << "no counterexample found: plain conditions may now be sufficient";
+}
+
+TEST(ConditionsOracle, MutatedStrictColoringsStaySound) {
+    // Metamorphic follow-up: mutate accepted colorings cell by cell; when
+    // the strict checker still accepts, the verdict must still be a
+    // monotone dynamo (the oracle holds on the whole accepted region, not
+    // just on solver outputs).
+    Xoshiro256 rng(0x517e);
+    // 6x6: n = 0 (mod 3), where the paper's stripe family needs only 4
+    // colors, so strict solutions are plentiful at |C| = 5 (on 5x5 the
+    // stripe family needs 6 colors and strict |C|=5 solutions are rare
+    // to nonexistent).
+    Torus t(Topology::ToroidalMesh, 6, 6);
+    ColorField partial(t.size(), kUnset);
+    for (const grid::VertexId v : theorem2_seeds(t)) partial[v] = 1;
+    // Hunt (deterministically) for a STRICT base solution to mutate
+    // around; mutations of a non-strict base almost never re-enter the
+    // strict region.
+    SolverResult base;
+    for (int attempt = 0; attempt < 60 && !base.found(); ++attempt) {
+        SolverOptions opts;
+        opts.total_colors = 5;
+        opts.rng_seed = rng.next() | 1;
+        opts.max_nodes = 150'000;
+        SolverResult candidate = solve_condition_coloring(t, partial, 1, opts);
+        if (candidate.found() && seed_neighbors_distinct(t, candidate.field, 1)) {
+            base = std::move(candidate);
+        }
+    }
+    ASSERT_TRUE(base.found()) << "no strict base solution found";
+
+    int accepted = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        ColorField mutated = base.field;
+        const auto v = static_cast<grid::VertexId>(rng.below(t.size()));
+        if (mutated[v] == 1) continue;  // keep the seed set fixed
+        mutated[v] = static_cast<Color>(2 + rng.below(4));
+        if (!theorem_conditions_hold(t, mutated, 1)) continue;
+        if (!seed_neighbors_distinct(t, mutated, 1)) continue;
+        ++accepted;
+        EXPECT_TRUE(verify_dynamo(t, mutated, 1).is_monotone) << trial;
+    }
+    EXPECT_GT(accepted, 0);
+}
+
+TEST(CertificateSoundness, NeverFiresOnConfigurationsTheSimulationAccepts) {
+    // has_non_dynamo_certificate is a *negative* certificate: it may
+    // never fire on a configuration verify_dynamo accepts. Randomized
+    // over topologies, palettes and seed densities biased so both
+    // accepted and rejected configurations occur.
+    Xoshiro256 rng(0xce47);
+    int dynamos = 0;
+    for (const Topology topo :
+         {Topology::ToroidalMesh, Topology::TorusCordalis, Topology::TorusSerpentinus}) {
+        for (int trial = 0; trial < 60; ++trial) {
+            const auto m = static_cast<std::uint32_t>(3 + rng.below(3));
+            const auto n = static_cast<std::uint32_t>(3 + rng.below(3));
+            Torus t(topo, m, n);
+            const Color colors = static_cast<Color>(2 + rng.below(3));
+            const double density = 0.3 + 0.5 * rng.uniform();
+            ColorField f(t.size());
+            for (auto& c : f) {
+                c = rng.bernoulli(density) ? Color{1}
+                                           : static_cast<Color>(2 + rng.below(colors - 1));
+            }
+            const bool accepted = verify_dynamo(t, f, 1).is_dynamo;
+            if (accepted) {
+                ++dynamos;
+                EXPECT_FALSE(has_non_dynamo_certificate(t, f, 1))
+                    << to_string(topo) << ' ' << m << 'x' << n << " trial " << trial;
+            }
+        }
+    }
+    EXPECT_GE(dynamos, 10) << "too few dynamos sampled to trust the net";
+}
+
+TEST(PruneSoundness, PrunedParallelSearchEqualsUnpruned) {
+    // Lemma-1 bounding-box necessity and the non-k-block certificate are
+    // sound prunes: on tiny tori the canonical search returns the same
+    // decision with and without them, spending no more simulations.
+    for (const Topology topo : {Topology::ToroidalMesh, Topology::TorusCordalis}) {
+        Torus t(topo, 3, 3);
+        ParallelSearchOptions plain;
+        plain.base.total_colors = 3;
+        plain.num_shards = 2;
+        ParallelSearchOptions pruned = plain;
+        pruned.base.use_box_prune = true;
+        pruned.base.use_block_prune = true;
+
+        const SearchOutcome a = parallel_min_dynamo(t, 3, plain);
+        const SearchOutcome b = parallel_min_dynamo(t, 3, pruned);
+        ASSERT_TRUE(a.complete);
+        ASSERT_TRUE(b.complete);
+        EXPECT_EQ(a.min_size, b.min_size) << to_string(topo);
+        EXPECT_LE(b.sims, a.sims) << to_string(topo);  // prunes only ever skip work
     }
 }
 
