@@ -12,18 +12,23 @@
 
 #include "bench_common.hpp"
 
-int main(int argc, char** argv) {
+#include "scenario/scenario.hpp"
+
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
     using namespace dynamo::bench;
-    const CliArgs args(argc, argv);
+    const CliArgs& args = ctx.args;
     const auto m = static_cast<std::uint32_t>(args.get_int("m", 9));
     const auto n = static_cast<std::uint32_t>(args.get_int("n", 9));
     grid::Torus torus(grid::Topology::ToroidalMesh, m, n);
 
-    print_banner(std::cout, "Figure 3 - black nodes do not constitute a dynamo");
+    print_banner(out, "Figure 3 - black nodes do not constitute a dynamo");
     {
         const Configuration cfg = build_fig3_blocked_configuration(torus);
-        std::cout << "configuration (" << m << "x" << n
+        out << "configuration (" << m << "x" << n
                   << ", Theorem-2 seeds + hostile 2x2 block violating the conditions):\n"
                   << io::render_field(torus, cfg.field, cfg.k);
 
@@ -40,15 +45,15 @@ int main(int argc, char** argv) {
         table.add_row("foreign block survives", "yes",
                       yesno(has_k_block(torus, trace.final_colors, hostile)),
                       has_k_block(torus, trace.final_colors, hostile) ? "match" : "FAIL");
-        table.print(std::cout);
-        std::cout << "\nfinal configuration (the hostile block persists):\n"
+        table.print(out);
+        out << "\nfinal configuration (the hostile block persists):\n"
                   << io::render_field(torus, trace.final_colors, cfg.k);
     }
 
-    print_banner(std::cout, "Figure 4 - a configuration where no recoloring can arise");
+    print_banner(out, "Figure 4 - a configuration where no recoloring can arise");
     {
         const Configuration cfg = build_fig4_stalled_configuration(torus);
-        std::cout << "configuration (k column + alternating vertical stripes):\n"
+        out << "configuration (k column + alternating vertical stripes):\n"
                   << io::render_field(torus, cfg.field, cfg.k);
 
         const Trace trace = run_traced(torus, cfg);
@@ -60,7 +65,22 @@ int main(int argc, char** argv) {
         table.add_row("non-k-block certificate", "exists",
                       yesno(has_non_dynamo_certificate(torus, cfg.field, cfg.k)),
                       has_non_dynamo_certificate(torus, cfg.field, cfg.k) ? "match" : "FAIL");
-        table.print(std::cout);
+        table.print(out);
     }
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "fig3_fig4_non_dynamos",
+    "figure",
+    "Figures 3 & 4 - configurations whose black nodes do NOT constitute a dynamo "
+    "(hostile block / global fixed point)",
+    0,
+    {
+        {"m", dynamo::scenario::ParamType::Int, "9", "", "torus rows"},
+        {"n", dynamo::scenario::ParamType::Int, "9", "", "torus columns"},
+    },
+    &scenario_main,
+});
+
+} // namespace

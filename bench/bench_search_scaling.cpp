@@ -31,6 +31,8 @@
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
+#include "scenario/scenario.hpp"
+
 namespace {
 
 using namespace dynamo;
@@ -74,10 +76,13 @@ bool outcomes_identical(const SearchOutcome& a, const SearchOutcome& b) {
 
 } // namespace
 
-int main(int argc, char** argv) {
-    const CliArgs args(argc, argv);
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
+    const CliArgs& args = ctx.args;
     if (args.has("help")) {
-        std::cout << "bench_search_scaling - seed enumerator vs symmetry-reduced sharded "
+        out << "bench_search_scaling - seed enumerator vs symmetry-reduced sharded "
                      "search\n"
                      "  --json-report[=FILE]  write the JSON record (default "
                      "BENCH_search_scaling.json)\n"
@@ -97,8 +102,9 @@ int main(int argc, char** argv) {
     const auto max_size = static_cast<std::uint32_t>(args.get_int("max-size", 6));
     const auto budget = static_cast<std::uint64_t>(args.get_int("budget", 2'000'000));
     const auto shards = static_cast<unsigned>(args.get_int("shards", 8));
-    const auto workers = static_cast<unsigned>(
-        args.get_int("workers", static_cast<std::int64_t>(ThreadPool::default_threads())));
+    const auto workers_arg = args.get_int("workers", 0);
+    const auto workers =
+        workers_arg > 0 ? static_cast<unsigned>(workers_arg) : ThreadPool::default_threads();
     // The JSON record is written only when --json-report is passed, so a
     // bare console run can never clobber the committed baseline.
     const bool write_json = args.has("json-report");
@@ -168,22 +174,22 @@ int main(int argc, char** argv) {
     }
 
     if (!write_json) return meets_target ? 0 : 1;
-    std::ofstream out(path);
-    if (!out) {
+    std::ofstream json_out(path);
+    if (!json_out) {
         std::cerr << "cannot open " << path << " for writing\n";
         return 1;
     }
-    out << "{\n"
+    json_out << "{\n"
         << "  \"bench\": \"bench_search_scaling\",\n"
         << "  \"config\": {\"topology\": \"" << grid::to_string(topology) << "\", \"rows\": "
         << rows << ", \"cols\": " << cols << ", \"colors\": " << int(colors)
         << ", \"max_size\": " << max_size << ", \"budget\": " << budget << ", \"shards\": "
         << shards << ", \"workers\": " << workers << "},\n"
         << "  \"arms\": {\n";
-    write_arm(out, "seed_enumerator", seed);
-    write_arm(out, "canonical_serial", serial);
-    write_arm(out, "canonical_pooled", pooled, /*last=*/true);
-    out << "  },\n"
+    write_arm(json_out, "seed_enumerator", seed);
+    write_arm(json_out, "canonical_serial", serial);
+    write_arm(json_out, "canonical_pooled", pooled, /*last=*/true);
+    json_out << "  },\n"
         << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
         << "  \"speedup\": " << speedup << ",\n"
         << "  \"target_speedup\": " << kTargetSpeedup << ",\n"
@@ -193,3 +199,30 @@ int main(int argc, char** argv) {
     std::cerr << "wrote " << path << "\n";
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "search_scaling",
+    "search",
+    "Seed-era full enumerator vs the symmetry-reduced sharded search on the "
+    "committed scaling workload (BENCH_search_scaling.json)",
+    0,
+    {
+        {"json-report", dynamo::scenario::ParamType::OptValue, "", "",
+         "write the JSON record (default BENCH_search_scaling.json)"},
+        {"topology", dynamo::scenario::ParamType::String, "mesh", "",
+         "mesh | cordalis | serpentinus"},
+        {"rows", dynamo::scenario::ParamType::Int, "4", "3", "torus rows"},
+        {"cols", dynamo::scenario::ParamType::Int, "4", "3", "torus columns"},
+        {"colors", dynamo::scenario::ParamType::Int, "3", "", "palette size |C|"},
+        {"max-size", dynamo::scenario::ParamType::Int, "6", "2", "probe seed sizes 1..N"},
+        {"budget", dynamo::scenario::ParamType::Int, "2000000", "20000",
+         "simulation budget per arm"},
+        {"shards", dynamo::scenario::ParamType::Int, "8", "", "decomposition width"},
+        {"workers", dynamo::scenario::ParamType::Int, "0", "2",
+         "pool size for the pooled arm (0 = hardware)"},
+        {"help", dynamo::scenario::ParamType::Flag, "", "", "print the option summary and exit"},
+    },
+    &scenario_main,
+});
+
+} // namespace

@@ -8,13 +8,18 @@
 
 #include "bench_common.hpp"
 
-int main(int argc, char** argv) {
+#include "scenario/scenario.hpp"
+
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
     using namespace dynamo::bench;
-    const CliArgs args(argc, argv);
+    const CliArgs& args = ctx.args;
     const auto max_dim = static_cast<std::uint32_t>(args.get_int("max-dim", 24));
 
-    print_banner(std::cout,
+    print_banner(out,
                  "B1 - SMP minimum dynamos vs bi-color majority baselines (full cross seeds)");
     ConsoleTable table({"torus", "topology", "SMP |S_k| (min)", "SMP rounds",
                         "simple-PB rounds", "simple-PC rounds", "strong floods"});
@@ -43,9 +48,22 @@ int main(int argc, char** argv) {
                           yesno(strong.reached_mono(kBlack)));
         }
     }
-    table.print(std::cout);
-    std::cout << "shape: the same seed budget floods faster under simple majority (weaker\n"
+    table.print(out);
+    out << "shape: the same seed budget floods faster under simple majority (weaker\n"
                  "rule: pairs win ties), identically-or-slower under Prefer-Current, and\n"
                  "never under strong majority - the ordering Propositions 1/2 rely on.\n";
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "tab_baseline_majority",
+    "table",
+    "B1 - SMP minimum dynamos vs the bi-color majority baselines of [15] across tori",
+    0,
+    {
+        {"max-dim", dynamo::scenario::ParamType::Int, "24", "6", "sweep upper bound"},
+    },
+    &scenario_main,
+});
+
+} // namespace

@@ -6,13 +6,18 @@
 
 #include "bench_common.hpp"
 
-int main(int argc, char** argv) {
+#include "scenario/scenario.hpp"
+
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
     using namespace dynamo::bench;
-    const CliArgs args(argc, argv);
+    const CliArgs& args = ctx.args;
     const auto max_dim = static_cast<std::uint32_t>(args.get_int("max-dim", 13));
 
-    print_banner(std::cout,
+    print_banner(out,
                  "X2 - ordered '+1' recoloring vs SMP on Theorem-2 mesh configurations");
     ConsoleTable table({"m", "n", "|C|", "SMP rounds", "incremental rounds",
                         "incremental outcome", "slowdown"});
@@ -39,9 +44,9 @@ int main(int argc, char** argv) {
         table.add_row(s, s, static_cast<int>(cfg.colors_used), smp.rounds, inc.rounds, outcome,
                       slowdown);
     }
-    table.print(std::cout);
+    table.print(out);
 
-    print_banner(std::cout, "X2 - scale width: two-band fields under the incremental rule");
+    print_banner(out, "X2 - scale width: two-band fields under the incremental rule");
     ConsoleTable band({"colors", "rounds to consensus", "consensus color"});
     for (const Color colors : {Color(2), Color(4), Color(6), Color(8)}) {
         grid::Torus torus(grid::Topology::ToroidalMesh, 8, 8);
@@ -56,11 +61,24 @@ int main(int argc, char** argv) {
                          : std::string(to_string(trace.termination)),
                      trace.mono ? std::to_string(int(*trace.mono)) : "-");
     }
-    band.print(std::cout);
-    std::cout << "measured shape: gradual persuasion BREAKS the engineered waves - the\n"
+    band.print(out);
+    out << "measured shape: gradual persuasion BREAKS the engineered waves - the\n"
                  "intermediate colors created en route form new local patterns that stall\n"
                  "into fixed points or small cycles, so Theorem-2 seed sets are NOT dynamos\n"
                  "under the ordered rule. Consistent with [4]/[5] being separate papers:\n"
                  "the '+1' protocol needs its own dynamo constructions.\n";
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "tab_ext_incremental",
+    "table",
+    "X2 - the ordered '+1' recoloring rule vs SMP on Theorem-2 configurations",
+    0,
+    {
+        {"max-dim", dynamo::scenario::ParamType::Int, "13", "5", "sweep upper bound"},
+    },
+    &scenario_main,
+});
+
+} // namespace

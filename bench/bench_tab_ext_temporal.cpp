@@ -7,15 +7,20 @@
 
 #include "bench_common.hpp"
 
-int main(int argc, char** argv) {
+#include "scenario/scenario.hpp"
+
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
     using namespace dynamo::bench;
-    const CliArgs args(argc, argv);
+    const CliArgs& args = ctx.args;
     const auto m = static_cast<std::uint32_t>(args.get_int("m", 9));
     const auto n = static_cast<std::uint32_t>(args.get_int("n", 9));
     const auto trials = static_cast<std::size_t>(args.get_int("trials", 20));
 
-    print_banner(std::cout,
+    print_banner(out,
                  "X3 - Theorem-2 dynamo under intermittent links (edge up-probability sweep)");
     grid::Torus torus(grid::Topology::ToroidalMesh, m, n);
     const Configuration cfg = build_theorem2_configuration(torus);
@@ -47,8 +52,8 @@ int main(int argc, char** argv) {
                           : s.mean / static_cast<double>(baseline.rounds),
                       monotone);
     }
-    table.print(std::cout);
-    std::cout << "static baseline: " << baseline.rounds << " rounds on the " << m << "x" << n
+    table.print(out);
+    out << "static baseline: " << baseline.rounds << " rounds on the " << m << "x" << n
               << " mesh; " << trials << " availability streams per row.\n"
               << "measured shape: intermittency does not merely slow the wave - it breaks\n"
                  "it. Completion probability collapses once availability drops below ~0.9:\n"
@@ -59,3 +64,19 @@ int main(int argc, char** argv) {
                  "is substantive.\n";
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "tab_ext_temporal",
+    "table",
+    "X3 - the Theorem-2 dynamo under intermittent links: completion probability and "
+    "slowdown",
+    0,
+    {
+        {"m", dynamo::scenario::ParamType::Int, "9", "7", "torus rows"},
+        {"n", dynamo::scenario::ParamType::Int, "9", "7", "torus columns"},
+        {"trials", dynamo::scenario::ParamType::Int, "20", "3", "availability streams per row"},
+    },
+    &scenario_main,
+});
+
+} // namespace

@@ -15,6 +15,8 @@
 
 #include "bench_common.hpp"
 
+#include "scenario/scenario.hpp"
+
 namespace {
 
 using namespace dynamo;
@@ -55,11 +57,14 @@ std::uint32_t min_majority_dynamo(const grid::Torus& torus, const rules::Majorit
 
 } // namespace
 
-int main() {
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
     using namespace dynamo::bench;
 
-    print_banner(std::cout,
+    print_banner(out,
                  "Proposition 1 - bi-color (reverse simple majority) vs multicolor (SMP) "
                  "minimum monotone dynamos, exhaustive on tiny tori");
     ConsoleTable table({"torus", "topology", "bi-color min (simple maj.)",
@@ -86,11 +91,11 @@ int main() {
         table.add_row(std::to_string(c.m) + "x" + std::to_string(c.n), to_string(c.topo), bi,
                       multi, yesno(bi != 0 && multi != 0 && bi <= multi));
     }
-    table.print(std::cout);
-    std::cout << "Prop. 1 claims LB(bi, simple) <= LB(multi, SMP); the exhaustive values\n"
+    table.print(out);
+    out << "Prop. 1 claims LB(bi, simple) <= LB(multi, SMP); the exhaustive values\n"
                  "confirm the direction on every probed instance.\n";
 
-    print_banner(std::cout,
+    print_banner(out,
                  "Proposition 2 - collapsed SMP dynamos under the bi-color baselines");
     ConsoleTable flood({"torus", "topology", "|phi(S_k)|", "floods simple maj.",
                         "floods strong maj."});
@@ -107,10 +112,22 @@ int main() {
         flood.add_row("8x8", to_string(topo), cfg.seeds.size(),
                       yesno(simple.reached_mono(kBlack)), yesno(strong.reached_mono(kBlack)));
     }
-    flood.print(std::cout);
-    std::cout << "reading: the minimum SMP seed sets flood under simple majority (consistent\n"
+    flood.print(out);
+    out << "reading: the minimum SMP seed sets flood under simple majority (consistent\n"
                  "with Prop. 1's ordering) but are far below what reverse strong majority\n"
                  "needs (Prop. 2's upper-bound transfer is 'stronger than sufficient', as\n"
                  "the paper itself notes).\n";
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "tab_prop12_reduction",
+    "table",
+    "Propositions 1 & 2 - the phi color-collapse reduction between SMP and the "
+    "bi-color majority problems",
+    0,
+    {},
+    &scenario_main,
+});
+
+} // namespace

@@ -13,13 +13,18 @@
 
 #include "bench_common.hpp"
 
-int main(int argc, char** argv) {
+#include "scenario/scenario.hpp"
+
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
     using namespace dynamo::bench;
-    const CliArgs args(argc, argv);
+    const CliArgs& args = ctx.args;
     const auto max_dim = static_cast<std::uint32_t>(args.get_int("max-dim", 9));
 
-    print_banner(std::cout, "Proposition 3 - N = 2: a k column on an m x 2 mesh");
+    print_banner(out, "Proposition 3 - N = 2: a k column on an m x 2 mesh");
     ConsoleTable n2({"m", "|C|", "foreign pattern", "dynamo"});
     for (const std::uint32_t m : {4u, 6u}) {
         grid::Torus torus(grid::Topology::ToroidalMesh, m, 2);
@@ -40,11 +45,11 @@ int main(int argc, char** argv) {
         const DynamoVerdict with2 = verify_dynamo(torus, mono, 1);
         n2.add_row(m, 2, "monochromatic {2}", yesno(with2.is_dynamo));
     }
-    n2.print(std::cout);
-    std::cout << "paper: 'For more than two colors a column of k-colored vertices is a\n"
+    n2.print(out);
+    out << "paper: 'For more than two colors a column of k-colored vertices is a\n"
                  "dynamo of size m' - confirmed; with two colors it is not.\n";
 
-    print_banner(std::cout,
+    print_banner(out,
                  "Theorem 2/4/6 color landscape - portfolio feasibility of the conditions");
     ConsoleTable landscape({"topology", "m", "n", "|C|=3", "|C|=4", "|C|=5",
                             "stripe builder uses"});
@@ -84,9 +89,23 @@ int main(int argc, char** argv) {
     probe(grid::Topology::TorusCordalis, 6, 6);
     probe(grid::Topology::TorusCordalis, 6, 7);
     probe(grid::Topology::TorusSerpentinus, 6, 6);
-    landscape.print(std::cout);
-    std::cout << "reading: |C| = 3 is never enough (Proposition 3 / Theorem 2 floor); the\n"
+    landscape.print(out);
+    out << "reading: |C| = 3 is never enough (Proposition 3 / Theorem 2 floor); the\n"
                  "solver settles whether |C| = 4 admits *some* valid pattern at sizes where\n"
                  "our closed-form stripe family needs 5 or 6 colors.\n";
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "tab_prop3_colors",
+    "table",
+    "Proposition 3 - how many colors a minimum dynamo needs (portfolio feasibility "
+    "landscape)",
+    0,
+    {
+        {"max-dim", dynamo::scenario::ParamType::Int, "9", "5", "square-mesh probe upper bound"},
+    },
+    &scenario_main,
+});
+
+} // namespace

@@ -19,13 +19,18 @@
 
 #include "bench_common.hpp"
 
-int main(int argc, char** argv) {
+#include "scenario/scenario.hpp"
+
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
     using namespace dynamo::bench;
-    const CliArgs args(argc, argv);
+    const CliArgs& args = ctx.args;
     const auto max_dim = static_cast<std::uint32_t>(args.get_int("max-dim", 16));
 
-    print_banner(std::cout,
+    print_banner(out,
                  "Theorems 1 & 2 - mesh dynamo size: construction vs lower bound m+n-2");
     ConsoleTable table({"m", "n", "bound m+n-2", "|S_k| built", "|C|", "conditions",
                         "monotone dynamo", "rounds"});
@@ -40,10 +45,10 @@ int main(int argc, char** argv) {
                           yesno(trace.reached_mono(cfg.k) && trace.monotone), trace.rounds);
         }
     }
-    table.print(std::cout);
-    std::cout << "expectation: every row matches the bound exactly and verifies monotone.\n";
+    table.print(out);
+    out << "expectation: every row matches the bound exactly and verifies monotone.\n";
 
-    print_banner(std::cout,
+    print_banner(out,
                  "Theorem 1 exhaustive probe on tiny tori (finding D5: sub-bound dynamos)");
     ConsoleTable probe({"torus", "|C|", "paper bound", "exhaustive min size", "sims",
                         "reduction", "complete", "witness is union of k-blocks"});
@@ -61,23 +66,23 @@ int main(int argc, char** argv) {
         opts.base.require_monotone = true;
         opts.num_shards = 2 * pool.size();
         opts.pool = &pool;
-        SearchOutcome out = parallel_min_dynamo(torus, c.probe_to, opts);
-        std::string found = out.min_size == SearchOutcome::kNoDynamo
+        SearchOutcome outcome = parallel_min_dynamo(torus, c.probe_to, opts);
+        std::string found = outcome.min_size == SearchOutcome::kNoDynamo
                                 ? ("none <= " + std::to_string(c.probe_to))
-                                : std::to_string(out.min_size);
+                                : std::to_string(outcome.min_size);
         std::string blocks = "-";
-        if (out.min_size != SearchOutcome::kNoDynamo) {
-            blocks = yesno(is_union_of_k_blocks(torus, out.witness_field, 1));
+        if (outcome.min_size != SearchOutcome::kNoDynamo) {
+            blocks = yesno(is_union_of_k_blocks(torus, outcome.witness_field, 1));
         }
         std::ostringstream reduction;
-        reduction << out.reduction_factor << "x";
+        reduction << outcome.reduction_factor << "x";
         probe.add_row(std::to_string(c.m) + "x" + std::to_string(c.n),
                       static_cast<int>(c.colors), mesh_size_lower_bound(c.m, c.n), found,
-                      out.sims, reduction.str(), yesno(out.complete), blocks);
-        outcomes.push_back(std::move(out));
+                      outcome.sims, reduction.str(), yesno(outcome.complete), blocks);
+        outcomes.push_back(std::move(outcome));
     }
-    probe.print(std::cout);
-    std::cout << "finding D5: on size-3 tori, 2+2 tie-protection lets non-block seeds\n"
+    probe.print(out);
+    out << "finding D5: on size-3 tori, 2+2 tie-protection lets non-block seeds\n"
                  "survive, so monotone dynamos exist below the m+n-2 bound; the paper's\n"
                  "Lemma 2 necessity (S_k a union of k-blocks) fails on those witnesses.\n"
                  "The symmetry-reduced search extends the finding to the 4x4 mesh:\n"
@@ -86,11 +91,26 @@ int main(int argc, char** argv) {
     // Show the two square-mesh witnesses already found by the table loop.
     for (const std::size_t idx : {std::size_t{2}, std::size_t{4}}) {  // 3x3 |C|=4, 4x4 |C|=3
         const auto& c = cases[idx];
-        const SearchOutcome& out = outcomes[idx];
-        if (out.min_size == SearchOutcome::kNoDynamo) continue;
+        const SearchOutcome& outcome = outcomes[idx];
+        if (outcome.min_size == SearchOutcome::kNoDynamo) continue;
         grid::Torus torus(grid::Topology::ToroidalMesh, c.m, c.n);
-        std::cout << "\nsize-" << out.min_size << " witness on the " << c.m << "x" << c.n
-                  << " mesh (B = seed):\n" << io::render_field(torus, out.witness_field, 1);
+        out << "\nsize-" << outcome.min_size << " witness on the " << c.m << "x" << c.n
+            << " mesh (B = seed):\n"
+            << io::render_field(torus, outcome.witness_field, 1);
     }
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "tab_thm1_mesh_bounds",
+    "table",
+    "Theorems 1 & 2 - mesh dynamo size vs the m+n-2 bound, plus the exhaustive "
+    "tiny-torus probe (finding D5)",
+    0,
+    {
+        {"max-dim", dynamo::scenario::ParamType::Int, "16", "4", "construction sweep upper bound"},
+    },
+    &scenario_main,
+});
+
+} // namespace

@@ -4,13 +4,18 @@
 // monotone-dynamo verification across a size sweep.
 #include "bench_common.hpp"
 
-int main(int argc, char** argv) {
+#include "scenario/scenario.hpp"
+
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
     using namespace dynamo::bench;
-    const CliArgs args(argc, argv);
+    const CliArgs& args = ctx.args;
     const auto max_dim = static_cast<std::uint32_t>(args.get_int("max-dim", 16));
 
-    print_banner(std::cout,
+    print_banner(out,
                  "Theorems 5 & 6 - serpentinus dynamo size: construction vs bound N+1");
     ConsoleTable table({"m", "n", "orientation", "bound N+1", "|S_k| built", "|C|",
                         "conditions", "monotone dynamo", "rounds"});
@@ -26,9 +31,22 @@ int main(int argc, char** argv) {
                           yesno(trace.reached_mono(cfg.k) && trace.monotone), trace.rounds);
         }
     }
-    table.print(std::cout);
-    std::cout << "expectation: |S_k| = min(m, n) + 1 in every row; both orientations verify\n"
+    table.print(out);
+    out << "expectation: |S_k| = min(m, n) + 1 in every row; both orientations verify\n"
                  "as monotone dynamos (the column orientation has no Theorem-8 round formula\n"
                  "in the paper; measured rounds are tabulated by the Theorem 8 bench).\n";
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "tab_thm56_serpentinus",
+    "table",
+    "Theorems 5 & 6 - serpentinus dynamo size vs the N+1 bound in both orientations",
+    0,
+    {
+        {"max-dim", dynamo::scenario::ParamType::Int, "16", "6", "sweep upper bound"},
+    },
+    &scenario_main,
+});
+
+} // namespace

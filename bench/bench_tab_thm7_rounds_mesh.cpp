@@ -7,13 +7,18 @@
 // the paper's 2*max form is exact only on squares).
 #include "bench_common.hpp"
 
-int main(int argc, char** argv) {
+#include "scenario/scenario.hpp"
+
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
     using namespace dynamo::bench;
-    const CliArgs args(argc, argv);
+    const CliArgs& args = ctx.args;
     const auto max_dim = static_cast<std::uint32_t>(args.get_int("max-dim", 15));
 
-    print_banner(std::cout, "Theorem 7 - mesh rounds: full-cross configuration (Figure 5 wave)");
+    print_banner(out, "Theorem 7 - mesh rounds: full-cross configuration (Figure 5 wave)");
     ConsoleTable cross({"m", "n", "measured", "paper 2*max", "vs paper", "derived sum",
                         "vs derived"});
     std::size_t square_match = 0, square_total = 0, derived_match = 0, total = 0;
@@ -34,12 +39,12 @@ int main(int argc, char** argv) {
             }
         }
     }
-    cross.print(std::cout);
-    std::cout << "square meshes matching the paper formula: " << square_match << "/"
+    cross.print(out);
+    out << "square meshes matching the paper formula: " << square_match << "/"
               << square_total << "\nall meshes matching the derived sum formula: "
               << derived_match << "/" << total << '\n';
 
-    print_banner(std::cout, "Theorem 7 - mesh rounds: minimum (m+n-2) Theorem-2 configuration");
+    print_banner(out, "Theorem 7 - mesh rounds: minimum (m+n-2) Theorem-2 configuration");
     ConsoleTable minimal({"m", "n", "measured", "derived cross formula", "delta"});
     std::size_t within_one = 0, total2 = 0;
     for (std::uint32_t m = 3; m <= max_dim; m += 2) {
@@ -53,8 +58,22 @@ int main(int argc, char** argv) {
             within_one += (trace.rounds >= derived && trace.rounds <= derived + 1);
         }
     }
-    minimal.print(std::cout);
-    std::cout << "within +1 of the cross formula: " << within_one << "/" << total2
+    minimal.print(out);
+    out << "within +1 of the cross formula: " << within_one << "/" << total2
               << " (the pendant delays two of the four corner waves by one round)\n";
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "tab_thm7_rounds_mesh",
+    "table",
+    "Theorem 7 - rounds to monochromatic on the mesh vs the paper and derived "
+    "formulas (deviation D1)",
+    0,
+    {
+        {"max-dim", dynamo::scenario::ParamType::Int, "15", "5", "sweep upper bound"},
+    },
+    &scenario_main,
+});
+
+} // namespace

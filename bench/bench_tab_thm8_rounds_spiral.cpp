@@ -10,15 +10,20 @@
 // tabulated for the record.
 #include "bench_common.hpp"
 
-int main(int argc, char** argv) {
+#include "scenario/scenario.hpp"
+
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
     using namespace dynamo::bench;
-    const CliArgs args(argc, argv);
+    const CliArgs& args = ctx.args;
     const auto max_dim = static_cast<std::uint32_t>(args.get_int("max-dim", 14));
 
     for (const grid::Topology topo :
          {grid::Topology::TorusCordalis, grid::Topology::TorusSerpentinus}) {
-        print_banner(std::cout, std::string("Theorem 8 - rounds on the ") + to_string(topo) +
+        print_banner(out, std::string("Theorem 8 - rounds on the ") + to_string(topo) +
                                     " (row construction)");
         ConsoleTable table(
             {"m", "n", "measured", "paper", "vs paper", "derived", "vs derived"});
@@ -41,13 +46,13 @@ int main(int argc, char** argv) {
                 }
             }
         }
-        table.print(std::cout);
-        std::cout << "odd-m cases matching the paper formula: " << odd_match << "/" << odd_total
+        table.print(out);
+        out << "odd-m cases matching the paper formula: " << odd_match << "/" << odd_total
                   << "\nall cases matching the derived formula: " << derived_match << "/"
                   << total << '\n';
     }
 
-    print_banner(std::cout,
+    print_banner(out,
                  "Serpentinus column orientation (N = m < n): measured rounds (no paper formula)");
     ConsoleTable cols({"m", "n", "|S_k|", "measured rounds", "monotone"});
     for (std::uint32_t m = 3; m <= 8; ++m) {
@@ -59,6 +64,20 @@ int main(int argc, char** argv) {
                          yesno(trace.reached_mono(cfg.k) && trace.monotone));
         }
     }
-    cols.print(std::cout);
+    cols.print(out);
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "tab_thm8_rounds_spiral",
+    "table",
+    "Theorem 8 - rounds on the spiral tori vs the paper and derived formulas "
+    "(deviation D3)",
+    0,
+    {
+        {"max-dim", dynamo::scenario::ParamType::Int, "14", "5", "sweep upper bound"},
+    },
+    &scenario_main,
+});
+
+} // namespace

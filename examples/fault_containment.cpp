@@ -20,9 +20,14 @@
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+#include "scenario/scenario.hpp"
+
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
-    const CliArgs args(argc, argv);
+    const CliArgs& args = ctx.args;
     const auto m = static_cast<std::uint32_t>(args.get_int("m", 10));
     const auto n = static_cast<std::uint32_t>(args.get_int("n", 10));
     grid::Torus array(grid::Topology::ToroidalMesh, m, n);
@@ -78,9 +83,9 @@ int main(int argc, char** argv) {
                       v.trace.rounds);
     }
 
-    table.print(std::cout);
+    table.print(out);
 
-    std::cout << "\nwhy the blob is contained: every healthy 2x2 neighborhood around it is a\n"
+    out << "\nwhy the blob is contained: every healthy 2x2 neighborhood around it is a\n"
                  "block (Definition 4) and the complement forms a non-faulty-block\n"
                  "(Definition 5) - certificate: "
               << (has_non_dynamo_certificate(
@@ -92,3 +97,18 @@ int main(int argc, char** argv) {
                  "iff they span a row+column cross; placement, not count, decides survival.\n";
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "fault_containment",
+    "example",
+    "Fault containment in a processor array: adversarial cross vs blob vs defensive "
+    "stripe placements",
+    0,
+    {
+        {"m", dynamo::scenario::ParamType::Int, "10", "", "array rows"},
+        {"n", dynamo::scenario::ParamType::Int, "10", "", "array columns"},
+    },
+    &scenario_main,
+});
+
+} // namespace

@@ -22,15 +22,20 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+#include "scenario/scenario.hpp"
+
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
-    const CliArgs args(argc, argv);
+    const CliArgs& args = ctx.args;
     const auto n = static_cast<std::size_t>(args.get_int("n", 500));
     const auto trials = static_cast<std::size_t>(args.get_int("trials", 15));
 
     Xoshiro256 gen(0x50c1a1);
     const graphx::Graph society = graphx::barabasi_albert(n, 3, gen);
-    std::cout << "society: Barabasi-Albert, " << society.num_vertices() << " agents, "
+    out << "society: Barabasi-Albert, " << society.num_vertices() << " agents, "
               << society.num_edges() << " ties, max degree " << society.max_degree()
               << " (hubs), mean " << society.mean_degree() << '\n';
 
@@ -91,16 +96,31 @@ int main(int argc, char** argv) {
                           rounds / static_cast<double>(trials));
         }
     }
-    table.print(std::cout);
+    table.print(out);
 
-    std::cout << "\ncontrast with the torus (the paper's substrate): the engineered\n"
+    out << "\ncontrast with the torus (the paper's substrate): the engineered\n"
                  "Theorem-2 seeding reaches full consensus with only m+n-2 = ";
     grid::Torus torus(grid::Topology::ToroidalMesh, 22, 23);
     const Configuration cfg = build_theorem2_configuration(torus);
     const Trace trace = simulate(torus, cfg.field);
-    std::cout << cfg.seeds.size() << " of " << torus.size() << " agents ("
+    out << cfg.seeds.size() << " of " << torus.size() << " agents ("
               << (trace.termination == Termination::Monochromatic ? "verified" : "FAILED")
               << ", " << trace.rounds << " rounds) - structure substitutes for budget when\n"
               << "the influence graph is known exactly.\n";
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "opinion_scalefree",
+    "example",
+    "Opinion dynamics on a Barabasi-Albert society: budget x strategy consensus "
+    "sweep on the BatchRunner",
+    0,
+    {
+        {"n", dynamo::scenario::ParamType::Int, "500", "80", "society size"},
+        {"trials", dynamo::scenario::ParamType::Int, "15", "2", "trials per cell"},
+    },
+    &scenario_main,
+});
+
+} // namespace

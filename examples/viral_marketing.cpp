@@ -21,22 +21,27 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+#include "scenario/scenario.hpp"
+
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
-    const CliArgs args(argc, argv);
+    const CliArgs& args = ctx.args;
     const auto m = static_cast<std::uint32_t>(args.get_int("m", 12));
     const auto n = static_cast<std::uint32_t>(args.get_int("n", 18));
     const auto trials = static_cast<std::size_t>(args.get_int("trials", 40));
 
     grid::Torus market(grid::Topology::TorusCordalis, m, n);
-    std::cout << "market: " << market.size() << " customers on a " << m << "x" << n
+    out << "market: " << market.size() << " customers on a " << m << "x" << n
               << " torus cordalis (ring + block contacts)\n";
 
     // Engineered launch: Theorem 4's n+1 seeds with condition-satisfying
     // rival-brand placement.
     const Configuration launch = build_theorem4_configuration(market);
     const DynamoVerdict verdict = verify_dynamo(market, launch.field, launch.k);
-    std::cout << "\nengineered launch (" << launch.seeds.size() << " seeded customers): "
+    out << "\nengineered launch (" << launch.seeds.size() << " seeded customers): "
               << verdict.summary() << '\n';
 
     // Same budget, random customers, random rival brands.
@@ -73,10 +78,26 @@ int main(int argc, char** argv) {
                       share / static_cast<double>(trials),
                       total ? rounds / static_cast<double>(total) : 0.0);
     }
-    std::cout << '\n';
-    table.print(std::cout);
-    std::cout << "\nmoral: placement beats budget - the engineered n+1 seeding always\n"
+    out << '\n';
+    table.print(out);
+    out << "\nmoral: placement beats budget - the engineered n+1 seeding always\n"
                  "converts the whole market, while the same (and even much larger) budgets\n"
                  "spent at random mostly stall against rival-brand blocks (Definition 4).\n";
     return 0;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "viral_marketing",
+    "example",
+    "Viral marketing on a cordalis social ring: engineered Theorem-4 seeding vs "
+    "random budgets",
+    0,
+    {
+        {"m", dynamo::scenario::ParamType::Int, "12", "6", "ring rows"},
+        {"n", dynamo::scenario::ParamType::Int, "18", "9", "ring columns"},
+        {"trials", dynamo::scenario::ParamType::Int, "40", "6", "random-seeding trials per budget"},
+    },
+    &scenario_main,
+});
+
+} // namespace

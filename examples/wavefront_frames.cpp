@@ -17,9 +17,14 @@
 #include "io/frame_dumper.hpp"
 #include "util/cli.hpp"
 
-int main(int argc, char** argv) {
+#include "scenario/scenario.hpp"
+
+namespace {
+
+int scenario_main(dynamo::scenario::Context& ctx) {
+    std::ostream& out = ctx.out;
     using namespace dynamo;
-    const CliArgs args(argc, argv);
+    const CliArgs& args = ctx.args;
     const grid::Topology topo =
         grid::topology_from_string(args.get_string("topology", "cordalis"));
     const auto m = static_cast<std::uint32_t>(args.get_int("m", 16));
@@ -30,7 +35,7 @@ int main(int argc, char** argv) {
     grid::Torus torus(topo, m, n);
     const Configuration cfg = build_minimum_dynamo(torus);
 
-    std::cout << "round 0 (" << to_string(topo) << ' ' << m << 'x' << n << ", |S_k|="
+    out << "round 0 (" << to_string(topo) << ' ' << m << 'x' << n << ", |S_k|="
               << cfg.seeds.size() << "):\n"
               << io::render_field(torus, cfg.field, cfg.k);
 
@@ -41,14 +46,34 @@ int main(int argc, char** argv) {
     opts.observers = {&frames, &census};
     const RunResult result = simulate(torus, cfg.field, opts);
 
-    std::cout << "round " << result.rounds << " (" << to_string(result.termination) << "):\n"
+    out << "round " << result.rounds << " (" << to_string(result.termination) << "):\n"
               << io::render_field(torus, result.final_colors, cfg.k);
 
-    std::cout << "\nentropy decay (bits/round):";
-    for (const auto& sample : census.samples()) std::cout << ' ' << sample.entropy_bits;
-    std::cout << "\nwavefront sizes per round: " << io::render_wavefront(result.newly_k);
+    out << "\nentropy decay (bits/round):";
+    for (const auto& sample : census.samples()) out << ' ' << sample.entropy_bits;
+    out << "\nwavefront sizes per round: " << io::render_wavefront(result.newly_k);
 
-    std::cout << "\nwrote " << frames.frames_written() << " PPM frames to " << outdir
+    out << "\nwrote " << frames.frames_written() << " PPM frames to " << outdir
               << " (assemble: ffmpeg -i " << outdir << "/frame_%03d.ppm wave.gif)\n";
     return result.reached_mono(cfg.k) ? 0 : 1;
 }
+
+[[maybe_unused]] const bool registered = dynamo::scenario::register_scenario({
+    "wavefront_frames",
+    "example",
+    "Render the k-wave of a dynamo as ASCII snapshots plus PPM frames via run-API "
+    "observers",
+    0,
+    {
+        {"topology", dynamo::scenario::ParamType::String, "cordalis", "",
+         "mesh | cordalis | serpentinus"},
+        {"m", dynamo::scenario::ParamType::Int, "16", "6", "torus rows"},
+        {"n", dynamo::scenario::ParamType::Int, "16", "6", "torus columns"},
+        {"outdir", dynamo::scenario::ParamType::String, "/tmp/dynamo_frames",
+         "/tmp/dynamo_frames_smoke", "PPM output directory"},
+        {"every", dynamo::scenario::ParamType::Int, "1", "", "dump every Nth round"},
+    },
+    &scenario_main,
+});
+
+} // namespace

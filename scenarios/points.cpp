@@ -1,0 +1,207 @@
+// Campaign-grade point scenarios: single-point workloads with typed
+// parameters and machine-readable metrics, designed to be swept by
+// `dynamo campaign` manifests (scenario/manifest.hpp). The bench/example
+// scenarios reproduce whole paper artifacts in one run; these expose the
+// underlying measurement as one grid point so a manifest can fan a sweep
+// out over the ThreadPool and the result cache can memoize each point.
+//
+//   * mc_density_point      - one Monte-Carlo density cell (experiment M1)
+//   * search_scaling_point  - one symmetry-reduced min-dynamo search
+//                             (the BENCH_search_scaling.json workload)
+//   * perf_smp_sweep        - packed vs generic engine timing (perf smoke)
+#include <cstdio>
+#include <string>
+
+#include "analysis/montecarlo.hpp"
+#include "core/builders.hpp"
+#include "core/run/simulate.hpp"
+#include "core/search/sharded.hpp"
+#include "grid/torus.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace dynamo;
+using scenario::Context;
+using scenario::ParamSpec;
+using scenario::ParamType;
+
+std::string fmt(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+int run_mc_density_point(Context& ctx) {
+    const auto topo = grid::topology_from_string(ctx.args.get_string("topology", "mesh"));
+    const auto m = static_cast<std::uint32_t>(ctx.args.get_int("m", 12));
+    const auto n = static_cast<std::uint32_t>(ctx.args.get_int("n", 12));
+    const auto colors = static_cast<Color>(ctx.args.get_int("colors", 4));
+    const double density = ctx.args.get_double("density", 0.3);
+    const auto trials = static_cast<std::size_t>(ctx.args.get_int("trials", 120));
+    const std::uint64_t seed = ctx.args.get_uint64("seed", 53261);
+
+    const grid::Torus torus(topo, m, n);
+    // Serial inside the point: campaigns parallelize ACROSS points, and
+    // run_density_point is bit-identical serial vs pooled anyway.
+    const analysis::DensityPoint p =
+        analysis::run_density_point(torus, 1, density, colors, trials, seed, nullptr);
+
+    ConsoleTable table({"density", "P(k-mono)", "other mono", "cycles", "fixed pts",
+                        "mean rounds|mono", "mean final k-share"});
+    table.add_row(p.density, p.p_k_mono(),
+                  static_cast<double>(p.other_mono) / static_cast<double>(p.trials), p.cycles,
+                  p.fixed_points, p.mean_rounds_mono, p.mean_final_k_fraction);
+    ctx.out << "M1 density point on the " << to_string(topo) << " " << m << "x" << n << ", |C|="
+            << int(colors) << ", " << trials << " trials, seed " << seed << "\n";
+    table.print(ctx.out);
+
+    ctx.metrics["trials"] = std::to_string(p.trials);
+    ctx.metrics["k_mono"] = std::to_string(p.k_mono);
+    ctx.metrics["other_mono"] = std::to_string(p.other_mono);
+    ctx.metrics["cycles"] = std::to_string(p.cycles);
+    ctx.metrics["fixed_points"] = std::to_string(p.fixed_points);
+    ctx.metrics["p_k_mono"] = fmt(p.p_k_mono());
+    ctx.metrics["mean_rounds_mono"] = fmt(p.mean_rounds_mono);
+    ctx.metrics["mean_final_k_share"] = fmt(p.mean_final_k_fraction);
+    return 0;
+}
+
+[[maybe_unused]] const bool reg_mc = scenario::register_scenario({
+    "mc_density_point",
+    "point",
+    "One Monte-Carlo random-seeding density cell (experiment M1) with "
+    "deterministic per-trial RNG substreams",
+    0,
+    {
+        {"topology", ParamType::String, "mesh", "", "mesh | cordalis | serpentinus"},
+        {"m", ParamType::Int, "12", "6", "torus rows"},
+        {"n", ParamType::Int, "12", "6", "torus columns"},
+        {"colors", ParamType::Int, "4", "3", "palette size |C|"},
+        {"density", ParamType::Double, "0.3", "", "per-vertex probability of color k"},
+        {"trials", ParamType::Int, "120", "6", "random colorings per point"},
+        {"seed", ParamType::Uint, "53261", "", "base RNG seed (trial t uses substream t)"},
+    },
+    &run_mc_density_point,
+});
+
+int run_search_scaling_point(Context& ctx) {
+    const auto topo = grid::topology_from_string(ctx.args.get_string("topology", "mesh"));
+    const auto rows = static_cast<std::uint32_t>(ctx.args.get_int("rows", 4));
+    const auto cols = static_cast<std::uint32_t>(ctx.args.get_int("cols", 4));
+    const auto colors = static_cast<Color>(ctx.args.get_int("colors", 3));
+    const auto max_size = static_cast<std::uint32_t>(ctx.args.get_int("max-size", 4));
+    const auto budget = static_cast<std::uint64_t>(ctx.args.get_int("budget", 2'000'000));
+    const auto shards = static_cast<unsigned>(ctx.args.get_int("shards", 8));
+
+    const grid::Torus torus(topo, rows, cols);
+    ParallelSearchOptions opts;
+    opts.base.total_colors = colors;
+    opts.base.max_sims = budget;
+    opts.num_shards = shards;
+    // Serial on purpose: the outcome is bit-identical pooled vs serial
+    // (PR-3 guarantee), and campaigns parallelize across points.
+    const SearchOutcome out = parallel_min_dynamo(torus, max_size, opts);
+
+    const std::string min_size = out.min_size == SearchOutcome::kNoDynamo
+                                     ? std::string("none")
+                                     : std::to_string(out.min_size);
+    ConsoleTable table({"torus", "|C|", "sizes", "min size", "complete", "sims", "candidates",
+                        "covered", "reduction"});
+    table.add_row(std::to_string(rows) + "x" + std::to_string(cols), static_cast<int>(colors),
+                  "1.." + std::to_string(max_size), min_size, out.complete, out.sims,
+                  out.candidates, out.covered, fmt(out.reduction_factor) + "x");
+    ctx.out << "symmetry-reduced min monotone dynamo search on the " << to_string(topo)
+            << " (budget " << budget << " sims, " << shards << " shards)\n";
+    table.print(ctx.out);
+
+    ctx.metrics["complete"] = out.complete ? "true" : "false";
+    ctx.metrics["min_size"] = min_size;
+    ctx.metrics["probed_max_size"] = std::to_string(out.probed_max_size);
+    ctx.metrics["sims"] = std::to_string(out.sims);
+    ctx.metrics["candidates"] = std::to_string(out.candidates);
+    ctx.metrics["covered"] = std::to_string(out.covered);
+    ctx.metrics["group_order"] = std::to_string(out.group_order);
+    ctx.metrics["reduction_factor"] = fmt(out.reduction_factor);
+    return 0;
+}
+
+[[maybe_unused]] const bool reg_search_point = scenario::register_scenario({
+    "search_scaling_point",
+    "point",
+    "One symmetry-reduced sharded min-dynamo search (the committed "
+    "BENCH_search_scaling.json workload as a cacheable grid point)",
+    0,
+    {
+        {"topology", ParamType::String, "mesh", "", "mesh | cordalis | serpentinus"},
+        {"rows", ParamType::Int, "4", "3", "torus rows"},
+        {"cols", ParamType::Int, "4", "3", "torus columns"},
+        {"colors", ParamType::Int, "3", "", "palette size |C|"},
+        {"max-size", ParamType::Int, "4", "2", "probe seed-set sizes 1..N"},
+        {"budget", ParamType::Int, "2000000", "20000", "simulation budget"},
+        {"shards", ParamType::Int, "8", "", "deterministic decomposition width"},
+    },
+    &run_search_scaling_point,
+});
+
+int run_perf_smp_sweep(Context& ctx) {
+    const auto topo = grid::topology_from_string(ctx.args.get_string("topology", "mesh"));
+    const auto m = static_cast<std::uint32_t>(ctx.args.get_int("m", 256));
+    const auto n = static_cast<std::uint32_t>(ctx.args.get_int("n", 256));
+
+    const grid::Torus torus(topo, m, n);
+    const Configuration cfg = build_minimum_dynamo(torus);
+
+    RunOptions packed_opts;
+    packed_opts.backend = Backend::Packed;
+    Stopwatch packed_watch;
+    const RunResult packed = simulate(torus, cfg.field, packed_opts);
+    const double packed_ms = packed_watch.millis();
+
+    RunOptions generic_opts;
+    generic_opts.backend = Backend::Generic;
+    Stopwatch generic_watch;
+    const RunResult generic = simulate(torus, cfg.field, generic_opts);
+    const double generic_ms = generic_watch.millis();
+
+    const bool identical = packed.rounds == generic.rounds &&
+                           packed.termination == generic.termination &&
+                           packed.final_colors == generic.final_colors;
+    const double cells_rounds = static_cast<double>(torus.size()) * packed.rounds;
+    ConsoleTable table({"engine", "rounds", "ms", "cell-rounds/s"});
+    table.add_row("packed", packed.rounds, packed_ms,
+                  packed_ms > 0 ? cells_rounds / (packed_ms / 1e3) : 0.0);
+    table.add_row("generic", generic.rounds, generic_ms,
+                  generic_ms > 0 ? cells_rounds / (generic_ms / 1e3) : 0.0);
+    ctx.out << "packed vs generic full run of the minimum dynamo on the " << to_string(topo)
+            << " " << m << "x" << n << "\n";
+    table.print(ctx.out);
+    ctx.out << "trajectories " << (identical ? "bit-identical" : "DIVERGED") << "\n";
+    ctx.out << "speedup (generic/packed): " << fmt(packed_ms > 0 ? generic_ms / packed_ms : 0.0)
+            << "x\n";
+
+    // Wall-clock numbers stay in the report text: metrics feed the result
+    // cache and campaign reports, which promise to be pure functions of
+    // the parameters (serial == pooled, warm == cold).
+    ctx.metrics["rounds"] = std::to_string(packed.rounds);
+    ctx.metrics["identical"] = identical ? "true" : "false";
+    return identical ? 0 : 1;
+}
+
+[[maybe_unused]] const bool reg_perf = scenario::register_scenario({
+    "perf_smp_sweep",
+    "perf",
+    "Packed vs table-driven engine on one full dynamo run: wall time, "
+    "throughput, and a trajectory-identity check",
+    0,
+    {
+        {"topology", ParamType::String, "mesh", "", "mesh | cordalis | serpentinus"},
+        {"m", ParamType::Int, "256", "48", "torus rows"},
+        {"n", ParamType::Int, "256", "48", "torus columns"},
+    },
+    &run_perf_smp_sweep,
+});
+
+} // namespace

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Offline link checker for README.md and docs/.
+
+Verifies that every relative markdown link and file reference resolves
+inside the repository, and that intra-document anchors point at real
+headings (GitHub-style slugs). External http(s) links are not fetched —
+CI must not depend on the network — but their syntax is validated.
+
+Usage: python3 scripts/check_links.py [repo-root]
+Exit code 1 when any link is broken.
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.M)
+
+
+def github_slug(heading: str) -> str:
+    # Strip markdown code/emphasis markers (underscores survive: GitHub
+    # keeps them in slugs), then lowercase, drop punctuation, hyphenate
+    # spaces — the GitHub anchor algorithm.
+    text = re.sub(r"[`*]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as fh:
+        content = fh.read()
+    return {github_slug(h) for h in HEADING_RE.findall(content)}
+
+
+def check_file(root: str, md_path: str) -> list:
+    errors = []
+    with open(md_path, encoding="utf-8") as fh:
+        content = fh.read()
+    base = os.path.dirname(md_path)
+    for target in LINK_RE.findall(content):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        ref, _, anchor = target.partition("#")
+        dest = md_path if not ref else os.path.normpath(os.path.join(base, ref))
+        rel = os.path.relpath(md_path, root)
+        if ref and not os.path.exists(dest):
+            errors.append(f"{rel}: broken link -> {target}")
+            continue
+        if anchor and dest.endswith(".md"):
+            if anchor not in anchors_of(dest):
+                errors.append(f"{rel}: broken anchor -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = [os.path.join(root, "README.md")]
+    docs = os.path.join(root, "docs")
+    for name in sorted(os.listdir(docs)):
+        if name.endswith(".md"):
+            files.append(os.path.join(docs, name))
+    errors = []
+    for path in files:
+        errors.extend(check_file(root, path))
+    for err in errors:
+        print(err)
+    checked = ", ".join(os.path.relpath(f, root) for f in files)
+    print(f"checked {len(files)} files ({checked}): "
+          f"{'FAILED' if errors else 'all links resolve'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

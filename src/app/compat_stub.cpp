@@ -1,0 +1,16 @@
+// dynamo/app/compat_stub.cpp
+//
+// The two-line compatibility wrapper behind every seed-era binary name
+// (bench_tab_*, bench_fig*, bench_search_scaling, example_*). CMake
+// compiles this file once per wrapper with DYNAMO_COMPAT_SCENARIO set to
+// the scenario name, so `bench_tab_thm1_mesh_bounds --max-dim=8` keeps
+// producing byte-identical reports while the logic lives in the registry.
+#include "scenario/scenario.hpp"
+
+#ifndef DYNAMO_COMPAT_SCENARIO
+#error "compat_stub.cpp needs -DDYNAMO_COMPAT_SCENARIO=\"<scenario name>\""
+#endif
+
+int main(int argc, char** argv) {
+    return dynamo::scenario::compat_main(DYNAMO_COMPAT_SCENARIO, argc, argv);
+}

@@ -1,0 +1,168 @@
+// dynamo/app/main.cpp
+//
+// The unified `dynamo` CLI: one binary over the scenario registry.
+//
+//   dynamo list [--markdown]             catalog (markdown form is committed
+//                                        as docs/scenarios.md and CI-gated)
+//   dynamo describe <scenario>           parameter schema + example command
+//   dynamo run <scenario> [--k=v ...]    run one scenario (strict args)
+//   dynamo campaign <manifest.json>      expand x cache-or-compute x report
+//          [--force] [--workers=N] [--cache-dir=DIR] [--out=FILE]
+//   dynamo cache stats|clear [--cache-dir=DIR]
+//
+// The seed-era bench/example binaries are wrappers over the same registry
+// (app/compat_stub.cpp), so `bench_tab_thm1_mesh_bounds --max-dim=8` and
+// `dynamo run tab_thm1_mesh_bounds --max-dim=8` print the same report.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/campaign.hpp"
+#include "scenario/scenario.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace dynamo;
+
+int usage(std::ostream& out, int code) {
+    out << "dynamo - unified scenario runner for the colored-tori reproduction\n"
+           "\n"
+           "  dynamo list [--markdown]            list registered scenarios\n"
+           "  dynamo describe <scenario>          show parameters and defaults\n"
+           "  dynamo run <scenario> [--k=v ...]   run one scenario\n"
+           "  dynamo campaign <manifest.json> [--force] [--workers=N (0 = hardware)]\n"
+           "                  [--cache-dir=DIR] [--out=FILE]\n"
+           "                                      run an experiment manifest through\n"
+           "                                      the content-addressed result cache\n"
+           "  dynamo cache stats|clear [--cache-dir=DIR]\n"
+           "\n"
+           "docs: docs/scenarios.md (catalog), docs/manifest-format.md (campaigns),\n"
+           "      docs/reproducing-the-paper.md (paper artifact -> command)\n";
+    return code;
+}
+
+int cmd_list(int argc, char** argv) {
+    const CliArgs args(argc - 1, argv + 1, CliGrammar{{"markdown"}, {}});
+    scenario::print_list(std::cout, args.get_flag("markdown"));
+    return 0;
+}
+
+int cmd_describe(int argc, char** argv) {
+    const CliArgs args(argc - 1, argv + 1);
+    if (args.positional().size() != 1) {
+        std::cerr << "usage: dynamo describe <scenario>\n";
+        return 2;
+    }
+    const scenario::Scenario* s = scenario::find(args.positional()[0]);
+    if (s == nullptr) {
+        std::cerr << "unknown scenario '" << args.positional()[0]
+                  << "' — `dynamo list` shows the registered names\n";
+        return 2;
+    }
+    scenario::print_describe(std::cout, *s);
+    return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+    if (argc < 3) {
+        std::cerr << "usage: dynamo run <scenario> [--param=value ...]\n";
+        return 2;
+    }
+    const scenario::Scenario* s = scenario::find(argv[2]);
+    if (s == nullptr) {
+        std::cerr << "unknown scenario '" << argv[2]
+                  << "' — `dynamo list` shows the registered names\n";
+        return 2;
+    }
+    // argv[2] (the scenario name) becomes the sub-parse's program name, so
+    // strict validation sees only the scenario's own arguments.
+    const CliArgs args(argc - 2, argv + 2, scenario::grammar(*s));
+    if (const std::string err = scenario::validate_args(*s, args, true); !err.empty()) {
+        std::cerr << "dynamo run: " << err << "\n";
+        return 2;
+    }
+    scenario::Context ctx{args, std::cout, {}};
+    return scenario::run(*s, ctx);
+}
+
+int cmd_campaign(int argc, char** argv) {
+    const CliArgs args(argc - 1, argv + 1,
+                       CliGrammar{{"force"}, {"workers", "cache-dir", "out"}});
+    if (args.positional().size() != 1) {
+        std::cerr << "usage: dynamo campaign <manifest.json> [--force] [--workers=N] "
+                     "[--cache-dir=DIR] [--out=FILE]\n";
+        return 2;
+    }
+    const scenario::Manifest manifest = scenario::load_manifest(args.positional()[0]);
+
+    scenario::CampaignOptions options;
+    options.force = args.get_flag("force");
+    options.cache_dir = args.get_string("cache-dir", options.cache_dir);
+    const std::int64_t workers_arg = args.get_int("workers", 0);
+    const unsigned workers =
+        workers_arg > 0 ? static_cast<unsigned>(workers_arg) : ThreadPool::default_threads();
+    // No pool below 2 workers — don't spawn threads a serial (or fully
+    // cached) campaign will never use.
+    std::optional<ThreadPool> pool;
+    if (workers > 1) {
+        pool.emplace(workers);
+        options.pool = &*pool;
+    }
+
+    const scenario::CampaignOutcome outcome = scenario::run_campaign(manifest, options);
+    const std::string report = outcome.to_json(manifest);
+    const std::string out_path = args.get_string("out", "");
+    if (out_path.empty()) {
+        std::cout << report;
+    } else {
+        std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+        DYNAMO_REQUIRE(static_cast<bool>(out), "cannot write campaign report '" + out_path + "'");
+        out << report;
+    }
+    // The one-line summary always lands on stdout: CI greps it to assert a
+    // warm cache computes zero points.
+    std::cout << outcome.summary(manifest) << "\n";
+    return outcome.failed == 0 ? 0 : 1;
+}
+
+int cmd_cache(int argc, char** argv) {
+    const CliArgs args(argc - 1, argv + 1, CliGrammar{{}, {"cache-dir"}});
+    const std::string dir = args.get_string("cache-dir", ".dynamo-cache");
+    if (args.positional().size() != 1 ||
+        (args.positional()[0] != "stats" && args.positional()[0] != "clear")) {
+        std::cerr << "usage: dynamo cache stats|clear [--cache-dir=DIR]\n";
+        return 2;
+    }
+    const scenario::ResultCache cache(dir);
+    if (args.positional()[0] == "stats") {
+        const auto stats = cache.stats();
+        std::cout << "cache " << dir << ": " << stats.entries << " entries, " << stats.bytes
+                  << " bytes (code epoch " << cache.code_epoch() << ")\n";
+        return 0;
+    }
+    std::cout << "cache " << dir << ": removed " << cache.clear() << " entries\n";
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage(std::cerr, 2);
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "list") return cmd_list(argc, argv);
+        if (cmd == "describe") return cmd_describe(argc, argv);
+        if (cmd == "run") return cmd_run(argc, argv);
+        if (cmd == "campaign") return cmd_campaign(argc, argv);
+        if (cmd == "cache") return cmd_cache(argc, argv);
+        if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(std::cout, 0);
+    } catch (const std::exception& e) {
+        std::cerr << "dynamo " << cmd << ": " << e.what() << "\n";
+        return 2;
+    }
+    std::cerr << "dynamo: unknown command '" << cmd << "'\n\n";
+    return usage(std::cerr, 2);
+}

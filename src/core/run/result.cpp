@@ -1,3 +1,6 @@
+// dynamo/core/run/result.cpp
+//
+// Termination labels shared by every run driver (see result.hpp).
 #include "core/run/result.hpp"
 
 namespace dynamo {

@@ -1,3 +1,8 @@
+// dynamo/core/search/portfolio.cpp
+//
+// Portfolio racing of the condition solver: independent value orders run
+// as pool jobs, the first conclusive racer cancels the rest through the
+// cooperative token in SolverOptions (see portfolio.hpp).
 #include "core/search/portfolio.hpp"
 
 #include <atomic>

@@ -1,3 +1,9 @@
+// dynamo/core/search/sharded.cpp
+//
+// The deterministic sharded driver over the canonical enumeration: unit =
+// canonical seed set, shard = unit index mod width, per-shard budget
+// slices with an atomic truncation flag, checkpoint/resume of the shard
+// cursor (see sharded.hpp for the bit-identical-aggregation contract).
 #include "core/search/sharded.hpp"
 
 #include <atomic>

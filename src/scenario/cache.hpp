@@ -1,0 +1,91 @@
+// dynamo/scenario/cache.hpp
+//
+// Content-addressed result cache for campaign points. A point's identity
+// is (scenario name, canonical parameter binding, code epoch); its cached
+// value is the metrics map + report text + exit code the scenario
+// produced. Re-running a campaign computes only the points whose key is
+// absent (cache miss) or whose epoch moved (invalidation); `--force`
+// bypasses lookups but still stores fresh results.
+//
+// Key = FNV-1a 64 over a canonical serialization: scenario name, combined
+// epoch, and the sorted "key=value" parameter bindings. The cache file
+// name embeds scenario, epoch, and hash, and the stored record repeats
+// scenario + params verbatim — lookups verify them, so a (vanishingly
+// unlikely) hash collision degrades to a miss, never to a wrong result.
+//
+// Epochs: kCodeEpoch is the global stamp, bumped when a change invalidates
+// every cached result (engine semantics, RNG streams); Scenario::epoch is
+// the per-scenario stamp for local invalidations. The combined epoch is
+// part of the hashed identity, so bumping either orphans the old entries
+// (removable with `dynamo cache clear`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace dynamo::scenario {
+
+/// Global cache epoch. Bump on changes that invalidate every cached
+/// result, e.g. simulation-semantics or RNG-substream changes.
+inline constexpr int kCodeEpoch = 1;
+
+struct CacheKey {
+    std::string scenario;
+    int epoch = 0;  ///< combined: kCodeEpoch + Scenario::epoch
+    std::map<std::string, std::string> params;  ///< canonical (sorted) binding
+};
+
+/// Canonical serialization of a key (also what gets hashed). Stable across
+/// runs and platforms; used by tests to pin the format.
+std::string canonical_key_string(const CacheKey& key);
+
+/// FNV-1a 64 of canonical_key_string().
+std::uint64_t cache_hash(const CacheKey& key);
+
+struct CachedResult {
+    std::map<std::string, std::string> metrics;
+    std::string report;
+    int exit_code = 0;
+};
+
+class ResultCache {
+  public:
+    /// Creates `dir` lazily on first store. `code_epoch` defaults to the
+    /// global stamp; tests inject other values to exercise invalidation.
+    explicit ResultCache(std::string dir, int code_epoch = kCodeEpoch);
+
+    const std::string& dir() const noexcept { return dir_; }
+    int code_epoch() const noexcept { return code_epoch_; }
+
+    /// Combined epoch for a scenario-local epoch value.
+    int combined_epoch(int scenario_epoch) const noexcept {
+        return code_epoch_ + scenario_epoch;
+    }
+
+    /// Returns the cached result iff the file exists, parses, and its
+    /// stored scenario/epoch/params match the key exactly.
+    std::optional<CachedResult> lookup(const CacheKey& key) const;
+
+    /// Writes (atomically: temp file + rename) the result under the key.
+    void store(const CacheKey& key, const CachedResult& result) const;
+
+    /// Path a key resolves to (diagnostics, tests).
+    std::string entry_path(const CacheKey& key) const;
+
+    struct Stats {
+        std::size_t entries = 0;
+        std::uint64_t bytes = 0;
+    };
+    Stats stats() const;
+
+    /// Deletes every cache entry; returns how many were removed.
+    std::size_t clear() const;
+
+  private:
+    std::string dir_;
+    int code_epoch_;
+};
+
+} // namespace dynamo::scenario

@@ -1,0 +1,133 @@
+// dynamo/scenario/campaign.cpp
+//
+// Cache-or-compute execution of expanded manifest points (see campaign.hpp
+// for the determinism contract).
+#include "scenario/campaign.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace dynamo::scenario {
+
+namespace {
+
+using util::Json;
+using util::JsonArray;
+using util::JsonObject;
+
+/// Execute one point against a private output buffer. Never throws: a
+/// scenario exception becomes the point's report with exit_code 2, so one
+/// bad point cannot take down a thousand-point campaign (and the failure
+/// is never cached — see run_campaign).
+CachedResult compute_point(const Scenario& scenario, const PointSpec& point) {
+    CachedResult result;
+    std::ostringstream out;
+    try {
+        const CliArgs args(point.params);
+        Context ctx{args, out, {}};
+        result.exit_code = run(scenario, ctx);
+        result.metrics = std::move(ctx.metrics);
+    } catch (const std::exception& e) {
+        out << "point failed: " << e.what() << "\n";
+        result.exit_code = 2;
+    }
+    result.report = out.str();
+    return result;
+}
+
+} // namespace
+
+CampaignOutcome run_campaign(const Manifest& manifest, const CampaignOptions& options) {
+    const Scenario* scenario = find(manifest.scenario);
+    DYNAMO_REQUIRE(scenario != nullptr, "manifest scenario vanished from the registry");
+    const ResultCache cache(options.cache_dir, options.code_epoch);
+    const int epoch = cache.combined_epoch(scenario->epoch);
+
+    const std::vector<PointSpec> specs = expand(manifest);
+    CampaignOutcome outcome;
+    outcome.points.resize(specs.size());
+
+    // Pass 1 (serial): satisfy points from the cache, collect the misses.
+    std::vector<std::size_t> missing;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        CampaignPoint& point = outcome.points[i];
+        point.spec = specs[i];
+        if (!options.force) {
+            const CacheKey key{manifest.scenario, epoch, specs[i].params};
+            if (auto hit = cache.lookup(key)) {
+                point.result = std::move(*hit);
+                point.from_cache = true;
+                continue;
+            }
+        }
+        missing.push_back(i);
+    }
+
+    // Pass 2: compute the misses across the pool. Each point writes only
+    // its own slot; grain 1 because points are coarse units of work.
+    parallel_for_blocks(options.pool, missing.size(), 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+            CampaignPoint& point = outcome.points[missing[j]];
+            point.result = compute_point(*scenario, point.spec);
+        }
+    });
+
+    // Pass 3 (serial): store fresh successes, tally. Failed points are
+    // not cached — a re-run retries them instead of replaying the error.
+    for (const std::size_t i : missing) {
+        const CampaignPoint& point = outcome.points[i];
+        if (point.result.exit_code == 0) {
+            cache.store(CacheKey{manifest.scenario, epoch, point.spec.params}, point.result);
+        }
+    }
+    for (const CampaignPoint& point : outcome.points) {
+        if (point.from_cache) {
+            ++outcome.cached;
+        } else {
+            ++outcome.computed;
+        }
+        if (point.result.exit_code != 0) ++outcome.failed;
+    }
+    return outcome;
+}
+
+std::string CampaignOutcome::to_json(const Manifest& manifest) const {
+    JsonObject root;
+    root.reserve(6);  // also sidesteps a GCC-12 -Warray-bounds false positive
+    root.emplace_back("campaign", Json(manifest.name));
+    root.emplace_back("scenario", Json(manifest.scenario));
+    if (!manifest.description.empty())
+        root.emplace_back("description", Json(manifest.description));
+    root.emplace_back("repetitions", Json(static_cast<std::uint64_t>(manifest.repetitions)));
+    root.emplace_back("seed", Json(static_cast<std::uint64_t>(manifest.seed)));
+    JsonArray point_records;
+    point_records.reserve(points.size());
+    for (const CampaignPoint& point : points) {
+        JsonObject params;
+        for (const auto& [k, v] : point.spec.params) params.emplace_back(k, Json(v));
+        JsonObject metrics;
+        for (const auto& [k, v] : point.result.metrics) metrics.emplace_back(k, Json(v));
+        JsonObject record;
+        record.emplace_back("params", Json(std::move(params)));
+        record.emplace_back("metrics", Json(std::move(metrics)));
+        record.emplace_back("exit_code", Json(static_cast<std::int64_t>(point.result.exit_code)));
+        // Reports stay out of the campaign JSON (they live in the cache) —
+        // except for failures, whose report carries the error message.
+        if (point.result.exit_code != 0)
+            record.emplace_back("report", Json(point.result.report));
+        point_records.emplace_back(Json(std::move(record)));
+    }
+    root.emplace_back("points", Json(std::move(point_records)));
+    return Json(std::move(root)).dump(2) + "\n";
+}
+
+std::string CampaignOutcome::summary(const Manifest& manifest) const {
+    std::ostringstream os;
+    os << "campaign " << manifest.name << ": " << points.size() << " points, " << computed
+       << " computed, " << cached << " cached, " << failed << " failed";
+    return os.str();
+}
+
+} // namespace dynamo::scenario

@@ -1,0 +1,56 @@
+// dynamo/scenario/campaign.hpp
+//
+// The campaign driver: expand a manifest into points, satisfy each point
+// from the content-addressed result cache or compute it on the
+// ThreadPool, and assemble a deterministic campaign report.
+//
+// Determinism contract (tested in tests/test_scenario.cpp): the campaign
+// JSON is a pure function of (manifest, registry, epochs) — points carry
+// deterministic RNG substreams, each computing point runs against its own
+// private output buffer, results are assembled in expansion order, and
+// nothing time- or thread-dependent enters the report. Hence serial ==
+// pooled bit-identical, and a fully cached re-run reproduces the computed
+// run's JSON byte for byte (cache provenance is reported separately).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/cache.hpp"
+#include "scenario/manifest.hpp"
+#include "util/parallel.hpp"
+
+namespace dynamo::scenario {
+
+struct CampaignOptions {
+    bool force = false;            ///< skip cache lookups (still stores fresh results)
+    ThreadPool* pool = nullptr;    ///< nullptr computes points serially (same report)
+    std::string cache_dir = ".dynamo-cache";
+    int code_epoch = kCodeEpoch;   ///< injectable for invalidation tests
+};
+
+struct CampaignPoint {
+    PointSpec spec;
+    CachedResult result;
+    bool from_cache = false;
+};
+
+struct CampaignOutcome {
+    std::vector<CampaignPoint> points;  ///< expansion order
+    std::size_t computed = 0;
+    std::size_t cached = 0;
+    std::size_t failed = 0;  ///< points whose scenario threw or returned non-zero
+
+    /// The deterministic campaign report (see header comment).
+    std::string to_json(const Manifest& manifest) const;
+    /// One-line human summary: point/computed/cached/failed counts.
+    std::string summary(const Manifest& manifest) const;
+};
+
+/// Run the campaign. Throws only on infrastructure errors (unwritable
+/// cache); per-point scenario exceptions are captured into that point's
+/// report with exit_code 2 and counted in `failed`.
+CampaignOutcome run_campaign(const Manifest& manifest, const CampaignOptions& options = {});
+
+} // namespace dynamo::scenario

@@ -1,0 +1,221 @@
+// dynamo/scenario/manifest.cpp
+//
+// Manifest parsing, schema validation, and deterministic grid expansion.
+#include "scenario/manifest.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/run/batch.hpp"  // substream_seed
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace dynamo::scenario {
+
+namespace {
+
+using util::Json;
+
+[[noreturn]] void fail(const std::string& where, const std::string& what) {
+    throw std::invalid_argument(where + ": " + what);
+}
+
+const ParamSpec* find_param(const Scenario& s, const std::string& key) {
+    for (const ParamSpec& p : s.params) {
+        if (p.name == key) return &p;
+    }
+    return nullptr;
+}
+
+/// A manifest binding must name a declared parameter of the scenario and
+/// carry a scalar that parses under the parameter's type.
+void check_binding(const std::string& where, const Scenario& s, const std::string& key,
+                   const Json& value, const char* section) {
+    const ParamSpec* spec = find_param(s, key);
+    if (spec == nullptr) {
+        std::string declared;
+        for (const ParamSpec& p : s.params) declared += " --" + p.name;
+        fail(where, std::string("\"") + section + "\" key \"" + key +
+                        "\" is not a parameter of scenario '" + s.name + "'; declared:" +
+                        (declared.empty() ? " (none)" : declared));
+    }
+    // Flags are CLI ergonomics, not sweepable values: a "false" binding
+    // would still read as SET through CliArgs::has(), and OptValue params
+    // like --json-report write files (racy across pooled points).
+    if (spec->type == ParamType::Flag || spec->type == ParamType::OptValue) {
+        fail(where, std::string("\"") + section + "\" cannot bind \"" + key +
+                        "\": it is a flag parameter, not a value — omit it (flags are "
+                        "for interactive runs)");
+    }
+    if (!value.is_scalar()) {
+        fail(where, std::string("\"") + section + "\" value for \"" + key +
+                        "\" must be a scalar (string, number, or boolean)");
+    }
+    const std::string lexeme = value.scalar_to_param_string();
+    // The same strict validator `dynamo run` uses: complete parse, no
+    // trailing garbage ("1.5" and "1e3" are not Ints).
+    if (!value_parses_as(spec->type, lexeme)) {
+        fail(where, "\"" + key + "\" expects " + std::string(to_string(spec->type)) +
+                        ", got '" + lexeme + "'");
+    }
+}
+
+} // namespace
+
+Manifest parse_manifest(const std::string& json_text, const std::string& where) {
+    Json doc;
+    try {
+        doc = Json::parse(json_text, where);
+    } catch (const std::exception& e) {
+        throw std::invalid_argument(std::string(e.what()) +
+                                    " (manifest format: docs/manifest-format.md)");
+    }
+    if (!doc.is_object()) fail(where, "manifest must be a JSON object");
+    for (const auto& [key, value] : doc.as_object()) {
+        if (key != "name" && key != "scenario" && key != "description" && key != "fixed" &&
+            key != "grid" && key != "repetitions" && key != "seed") {
+            fail(where, "unknown manifest key \"" + key +
+                            "\" (known: name, scenario, description, fixed, grid, "
+                            "repetitions, seed)");
+        }
+    }
+
+    Manifest m;
+    const Json* name = doc.find("name");
+    if (name == nullptr || !name->is_string() || name->as_string().empty())
+        fail(where, "\"name\" (non-empty string) is required");
+    m.name = name->as_string();
+
+    const Json* scenario_name = doc.find("scenario");
+    if (scenario_name == nullptr || !scenario_name->is_string())
+        fail(where, "\"scenario\" (string) is required");
+    m.scenario = scenario_name->as_string();
+    const Scenario* s = find(m.scenario);
+    if (s == nullptr) {
+        fail(where, "unknown scenario \"" + m.scenario +
+                        "\" — `dynamo list` shows the registered names");
+    }
+
+    if (const Json* desc = doc.find("description")) {
+        if (!desc->is_string()) fail(where, "\"description\" must be a string");
+        m.description = desc->as_string();
+    }
+
+    if (const Json* fixed = doc.find("fixed")) {
+        if (!fixed->is_object()) fail(where, "\"fixed\" must be an object of scalar bindings");
+        for (const auto& [key, value] : fixed->as_object()) {
+            check_binding(where, *s, key, value, "fixed");
+            m.fixed[key] = value.scalar_to_param_string();
+        }
+    }
+
+    if (const Json* grid = doc.find("grid")) {
+        if (!grid->is_object()) fail(where, "\"grid\" must be an object of value arrays");
+        for (const auto& [key, values] : grid->as_object()) {
+            if (m.fixed.count(key) != 0)
+                fail(where, "\"" + key + "\" appears in both \"fixed\" and \"grid\"");
+            if (!values.is_array() || values.as_array().empty()) {
+                fail(where, "\"grid\" axis \"" + key +
+                                "\" must be a non-empty array of scalars");
+            }
+            GridAxis axis;
+            axis.key = key;
+            for (const Json& v : values.as_array()) {
+                check_binding(where, *s, key, v, "grid");
+                axis.values.push_back(v.scalar_to_param_string());
+            }
+            m.grid.push_back(std::move(axis));
+        }
+    }
+
+    if (const Json* reps = doc.find("repetitions")) {
+        std::int64_t r = 0;
+        try {
+            r = reps->as_int();
+        } catch (const std::exception&) {
+            fail(where, "\"repetitions\" must be an integer >= 1");
+        }
+        if (r < 1) fail(where, "\"repetitions\" must be an integer >= 1");
+        m.repetitions = static_cast<std::uint64_t>(r);
+    }
+    if (m.repetitions > 1) {
+        if (find_param(*s, "seed") == nullptr) {
+            fail(where, "\"repetitions\" > 1 needs scenario '" + s->name +
+                            "' to declare a `seed` parameter — identical repeats would "
+                            "collapse to one cached point");
+        }
+        bool seed_bound = m.fixed.count("seed") != 0;
+        for (const GridAxis& axis : m.grid) seed_bound = seed_bound || axis.key == "seed";
+        if (seed_bound) {
+            fail(where, "\"repetitions\" > 1 cannot be combined with an explicit "
+                        "\"seed\" binding — repeats differ only through their injected "
+                        "seed substream");
+        }
+    }
+
+    if (const Json* seed = doc.find("seed")) {
+        // Full 64-bit range via the lexeme (as_int would reject >= 2^53
+        // and silently wrap negatives).
+        std::uint64_t parsed = 0;
+        bool ok = seed->is_number();
+        if (ok) {
+            const std::string& lexeme = seed->number_lexeme();
+            std::istringstream is(lexeme);
+            ok = lexeme.find('-') == std::string::npos && lexeme.find('.') == std::string::npos &&
+                 lexeme.find('e') == std::string::npos && lexeme.find('E') == std::string::npos &&
+                 static_cast<bool>(is >> parsed) && is.eof();
+        }
+        if (!ok) fail(where, "\"seed\" must be a non-negative integer (up to 64 bits)");
+        m.seed = parsed;
+    }
+    return m;
+}
+
+Manifest load_manifest(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    DYNAMO_REQUIRE(static_cast<bool>(in), "cannot open manifest '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse_manifest(buf.str(), path);
+}
+
+std::vector<PointSpec> expand(const Manifest& manifest) {
+    const Scenario* s = find(manifest.scenario);
+    DYNAMO_REQUIRE(s != nullptr, "manifest scenario vanished from the registry");
+    const bool has_seed_param = find_param(*s, "seed") != nullptr;
+
+    std::uint64_t combos = 1;
+    for (const GridAxis& axis : manifest.grid) combos *= axis.values.size();
+    const std::uint64_t total = combos * manifest.repetitions;
+    DYNAMO_REQUIRE(total <= 1'000'000, "manifest expands to " + std::to_string(total) +
+                                           " points; the driver caps campaigns at 1e6");
+
+    std::vector<PointSpec> points;
+    points.reserve(total);
+    for (std::uint64_t rep = 0; rep < manifest.repetitions; ++rep) {
+        // Odometer over the axes, later axes fastest (row-major order).
+        std::vector<std::size_t> cursor(manifest.grid.size(), 0);
+        for (std::uint64_t c = 0; c < combos; ++c) {
+            PointSpec point;
+            point.index = points.size();
+            point.params = manifest.fixed;
+            for (std::size_t a = 0; a < manifest.grid.size(); ++a) {
+                point.params[manifest.grid[a].key] = manifest.grid[a].values[cursor[a]];
+            }
+            // Inject the point's RNG substream unless the manifest bound
+            // `seed` explicitly (then the author owns reproducibility).
+            if (has_seed_param && point.params.count("seed") == 0) {
+                point.params["seed"] =
+                    std::to_string(substream_seed(manifest.seed, point.index));
+            }
+            points.push_back(std::move(point));
+            for (std::size_t a = manifest.grid.size(); a-- > 0;) {
+                if (++cursor[a] < manifest.grid[a].values.size()) break;
+                cursor[a] = 0;
+            }
+        }
+    }
+    return points;
+}
+
+} // namespace dynamo::scenario

@@ -1,0 +1,79 @@
+// dynamo/scenario/manifest.hpp
+//
+// Declarative experiment manifests: one JSON document describing a
+// campaign as scenario x parameter grid x repetitions x seeds, expanded
+// into concrete points the campaign driver executes. The literature's
+// target-set experiments (Brunetti-Lodi-Quattrociocchi; Asadi-Zaker) are
+// parameter sweeps over topology x coloring x seed placement x rule —
+// exactly this shape. Format reference: docs/manifest-format.md.
+//
+// Schema (all keys validated against the scenario's parameter schema;
+// errors name the offending key and what was expected):
+//
+//   {
+//     "name": "mc-density-demo",          // campaign id (required)
+//     "scenario": "mc_density_point",     // registered scenario (required)
+//     "description": "...",               // optional free text
+//     "fixed": {"m": 8, "colors": 4},     // optional scalar bindings
+//     "grid": {"density": [0.1, 0.3]},    // optional axes (array each)
+//     "repetitions": 3,                   // optional, default 1
+//     "seed": 53198                       // optional base seed, default 0
+//   }
+//
+// Expansion: the cartesian product of the grid axes (axes vary in the
+// order written, later axes fastest), repeated `repetitions` times.
+// Point i of a run with base seed s receives `--seed=substream_seed(s, i)`
+// — the same deterministic substream scheme BatchRunner uses per trial —
+// so every point's RNG stream is a pure function of the manifest,
+// independent of execution order or threading. A scenario that declares
+// no `seed` parameter cannot take repetitions > 1 (the repeats would be
+// byte-identical and collapse to one cache entry); the expander rejects
+// that combination loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace dynamo::scenario {
+
+struct GridAxis {
+    std::string key;
+    std::vector<std::string> values;  ///< scalar lexemes, CLI-ready
+};
+
+struct Manifest {
+    std::string name;
+    std::string scenario;
+    std::string description;
+    std::map<std::string, std::string> fixed;
+    std::vector<GridAxis> grid;  ///< in manifest order
+    std::uint64_t repetitions = 1;
+    std::uint64_t seed = 0;
+};
+
+/// One expanded grid point: the full parameter binding handed to the
+/// scenario (fixed + grid values + injected seed), plus its index.
+struct PointSpec {
+    std::size_t index = 0;  ///< position in expansion order (also the seed substream)
+    std::map<std::string, std::string> params;
+};
+
+/// Parse + validate a manifest document against the registry. `where`
+/// names the source in error messages (file path). Throws
+/// std::invalid_argument with an actionable message on any problem:
+/// unknown scenario, unknown/duplicate parameter keys, non-scalar grid
+/// values, type mismatches, repetitions without a seed parameter.
+Manifest parse_manifest(const std::string& json_text, const std::string& where);
+
+/// Convenience: read the file and parse_manifest its contents.
+Manifest load_manifest(const std::string& path);
+
+/// Deterministic expansion (see header comment for the order and the
+/// seed-injection rule).
+std::vector<PointSpec> expand(const Manifest& manifest);
+
+} // namespace dynamo::scenario

@@ -1,0 +1,396 @@
+// Tests for the scenario/app layer: registry round-trip (every registered
+// scenario describes, validates, and runs at a smoke-size point),
+// actionable manifest parse errors, cache hit/miss/invalidation (epoch
+// bump), and campaign determinism (serial == pooled bit-identical, warm
+// re-run reproduces the cold report from pure cache hits).
+//
+// This binary links the scenario OBJECT library, so the full registry -
+// every bench, every example, the campaign-grade points - is under test.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/campaign.hpp"
+#include "scenario/manifest.hpp"
+#include "scenario/scenario.hpp"
+#include "core/run/batch.hpp"
+#include "util/json.hpp"
+
+namespace dynamo::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory under the system temp dir.
+class ScratchDir {
+  public:
+    explicit ScratchDir(const std::string& tag)
+        : path_((fs::temp_directory_path() /
+                 ("dynamo_test_" + tag + "_" +
+                  std::to_string(::testing::UnitTest::GetInstance()->random_seed())))
+                    .string()) {
+        fs::remove_all(path_);
+    }
+    ~ScratchDir() { fs::remove_all(path_); }
+    const std::string& path() const noexcept { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::map<std::string, std::string> smoke_params(const Scenario& s) {
+    std::map<std::string, std::string> params;
+    for (const ParamSpec& p : s.params) {
+        if (p.type == ParamType::Flag || p.type == ParamType::OptValue) continue;
+        params[p.name] = p.smoke_or_default();
+    }
+    return params;
+}
+
+TEST(Registry, HasTheFullCatalog) {
+    const auto scenarios = all();
+    EXPECT_GE(scenarios.size(), 20u) << "the unified CLI promises >= 20 scenarios";
+    for (const Scenario* s : scenarios) {
+        EXPECT_EQ(find(s->name), s);
+        EXPECT_FALSE(s->title.empty()) << s->name;
+        EXPECT_TRUE(s->kind == "table" || s->kind == "figure" || s->kind == "search" ||
+                    s->kind == "perf" || s->kind == "example" || s->kind == "point")
+            << s->name << " has unknown kind " << s->kind;
+    }
+    // Former binaries must all be reachable by their scenario names.
+    for (const char* name :
+         {"tab_thm1_mesh_bounds", "tab_thm34_cordalis", "tab_thm56_serpentinus",
+          "tab_thm7_rounds_mesh", "tab_thm8_rounds_spiral", "tab_prop12_reduction",
+          "tab_prop3_colors", "tab_baseline_majority", "tab_montecarlo_density",
+          "tab_ext_incremental", "tab_ext_scalefree", "tab_ext_temporal",
+          "fig1_fig2_mesh_dynamo", "fig3_fig4_non_dynamos", "fig5_fig6_wave_matrices",
+          "search_scaling", "quickstart", "fault_containment", "viral_marketing",
+          "wavefront_frames", "opinion_scalefree", "mc_density_point",
+          "search_scaling_point", "perf_smp_sweep"}) {
+        EXPECT_NE(find(name), nullptr) << name;
+    }
+}
+
+TEST(Registry, EveryScenarioDescribesAndValidates) {
+    for (const Scenario* s : all()) {
+        std::ostringstream describe;
+        print_describe(describe, *s);
+        EXPECT_NE(describe.str().find(s->name), std::string::npos);
+
+        // The declared defaults must pass the scenario's own validation.
+        const CliArgs defaults(smoke_params(*s));
+        EXPECT_EQ(validate_args(*s, defaults, true), "") << s->name;
+
+        // Unknown keys are rejected with an actionable message.
+        const std::map<std::string, std::string> bogus{{"no_such_param", "1"}};
+        const CliArgs unknown(bogus);
+        const std::string err = validate_args(*s, unknown, true);
+        EXPECT_NE(err.find("no_such_param"), std::string::npos) << s->name;
+    }
+
+    // A negative value for a uint parameter is a validation error, not an
+    // internal precondition failure deep inside the scenario.
+    const Scenario* mc = find("mc_density_point");
+    ASSERT_NE(mc, nullptr);
+    const std::map<std::string, std::string> negative_seed{{"seed", "-1"}};
+    const CliArgs negative(negative_seed);
+    EXPECT_NE(validate_args(*mc, negative, true).find("expects uint"), std::string::npos);
+}
+
+TEST(Registry, EveryScenarioRunsAtItsSmokePoint) {
+    for (const Scenario* s : all()) {
+        const CliArgs args(smoke_params(*s));
+        std::ostringstream out;
+        Context ctx{args, out, {}};
+        int rc = -1;
+        ASSERT_NO_THROW(rc = run(*s, ctx)) << s->name;
+        // search_scaling is special twice over: its exit code encodes a
+        // machine-relative speedup gate a smoke-size budget need not
+        // clear, and its progress report goes to stderr (stdout is
+        // reserved for --help and the JSON record).
+        if (s->name != "search_scaling") {
+            EXPECT_EQ(rc, 0) << s->name;
+            EXPECT_FALSE(out.str().empty()) << s->name << " produced no report";
+        }
+    }
+}
+
+TEST(Registry, ListOutputsAreStable) {
+    std::ostringstream console, markdown;
+    print_list(console, false);
+    print_list(markdown, true);
+    EXPECT_NE(console.str().find("tab_thm1_mesh_bounds"), std::string::npos);
+    EXPECT_NE(markdown.str().find("# Scenario catalog"), std::string::npos);
+    // Markdown must mention every scenario (it is the committed catalog).
+    for (const Scenario* s : all()) {
+        EXPECT_NE(markdown.str().find("`" + s->name + "`"), std::string::npos) << s->name;
+    }
+    // Pure function of the registry: repeated renders are byte-identical.
+    std::ostringstream again;
+    print_list(again, true);
+    EXPECT_EQ(markdown.str(), again.str());
+}
+
+TEST(Manifest, ParseErrorsAreActionable) {
+    const auto expect_error = [](const std::string& text, const std::string& needle) {
+        try {
+            parse_manifest(text, "test-manifest");
+            FAIL() << "expected parse failure for: " << text;
+        } catch (const std::invalid_argument& e) {
+            EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+                << "message '" << e.what() << "' lacks '" << needle << "'";
+        }
+    };
+    expect_error("{", "expected");                       // truncated JSON
+    expect_error(R"({"name": "x"})", "\"scenario\"");    // missing scenario
+    expect_error(R"({"name": "x", "scenario": "nope"})", "unknown scenario");
+    expect_error(R"({"name": "x", "scenario": "mc_density_point", "typo": 1})",
+                 "unknown manifest key");
+    expect_error(R"({"name": "x", "scenario": "mc_density_point",
+                     "fixed": {"no_such": 1}})",
+                 "not a parameter");
+    expect_error(R"({"name": "x", "scenario": "mc_density_point",
+                     "fixed": {"m": "not-a-number"}})",
+                 "expects int");
+    // Strict scalar validation: a lexeme that only PARTIALLY parses as an
+    // int ("1e3" -> 1) must be rejected, not silently truncated.
+    expect_error(R"({"name": "x", "scenario": "mc_density_point",
+                     "fixed": {"trials": 1e3}})",
+                 "expects int");
+    // Flag/OptValue parameters are not sweepable values.
+    expect_error(R"({"name": "x", "scenario": "search_scaling",
+                     "fixed": {"help": false}})",
+                 "flag parameter");
+    expect_error(R"({"name": "x", "scenario": "search_scaling",
+                     "grid": {"json-report": ["a.json", "b.json"]}})",
+                 "flag parameter");
+    expect_error(R"({"name": "x", "scenario": "mc_density_point", "seed": -5})",
+                 "non-negative integer");
+    expect_error(R"({"name": "x", "scenario": "mc_density_point",
+                     "grid": {"density": 0.5}})",
+                 "non-empty array");
+    expect_error(R"({"name": "x", "scenario": "mc_density_point",
+                     "fixed": {"m": 5}, "grid": {"m": [5, 6]}})",
+                 "both \"fixed\" and \"grid\"");
+    expect_error(R"({"name": "x", "scenario": "mc_density_point", "repetitions": 0})",
+                 ">= 1");
+    // repetitions > 1 needs an injectable seed parameter...
+    expect_error(R"({"name": "x", "scenario": "perf_smp_sweep", "repetitions": 2})",
+                 "`seed` parameter");
+    // ...and must not fight an explicit seed binding.
+    expect_error(R"({"name": "x", "scenario": "mc_density_point", "repetitions": 2,
+                     "fixed": {"seed": 1}})",
+                 "explicit");
+}
+
+TEST(Manifest, ExpansionOrderAndSeedInjection) {
+    const Manifest m = parse_manifest(
+        R"({"name": "exp", "scenario": "mc_density_point",
+            "fixed": {"m": 6, "n": 6, "trials": 4},
+            "grid": {"density": [0.1, 0.2], "colors": [3, 4]},
+            "repetitions": 2, "seed": 99})",
+        "test-manifest");
+    const auto points = expand(m);
+    ASSERT_EQ(points.size(), 8u);  // 2 densities x 2 palettes x 2 reps
+    // Later axes vary fastest; repetitions are the outermost loop.
+    EXPECT_EQ(points[0].params.at("density"), "0.1");
+    EXPECT_EQ(points[0].params.at("colors"), "3");
+    EXPECT_EQ(points[1].params.at("colors"), "4");
+    EXPECT_EQ(points[2].params.at("density"), "0.2");
+    EXPECT_EQ(points[4].params.at("density"), "0.1");  // second repetition restarts
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].index, i);
+        EXPECT_EQ(points[i].params.at("seed"), std::to_string(substream_seed(99, i)));
+        EXPECT_EQ(points[i].params.at("m"), "6");
+    }
+    // Number lexemes survive verbatim (no double re-formatting).
+    EXPECT_EQ(points[0].params.at("density"), "0.1");
+
+    // An explicit seed binding is respected, not overwritten.
+    const Manifest pinned = parse_manifest(
+        R"({"name": "pin", "scenario": "mc_density_point", "fixed": {"seed": 42}})",
+        "test-manifest");
+    const auto pinned_points = expand(pinned);
+    ASSERT_EQ(pinned_points.size(), 1u);
+    EXPECT_EQ(pinned_points[0].params.at("seed"), "42");
+
+    // Full-64-bit base seeds survive (as_int would reject >= 2^53).
+    const Manifest big = parse_manifest(
+        R"({"name": "big", "scenario": "mc_density_point", "seed": 14023699124914558617})",
+        "test-manifest");
+    EXPECT_EQ(big.seed, 14023699124914558617ull);
+}
+
+TEST(Cache, HitMissAndEpochInvalidation) {
+    const ScratchDir dir("cache");
+    const ResultCache cache(dir.path(), /*code_epoch=*/1);
+    const CacheKey key{"mc_density_point", cache.combined_epoch(0), {{"m", "6"}, {"n", "6"}}};
+
+    EXPECT_FALSE(cache.lookup(key).has_value());  // cold miss
+
+    CachedResult result;
+    result.metrics = {{"p_k_mono", "0.5"}, {"trials", "6"}};
+    result.report = "line one\nline \"two\"\n";
+    cache.store(key, result);
+
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->metrics, result.metrics);
+    EXPECT_EQ(hit->report, result.report);  // newline/quote round-trip
+    EXPECT_EQ(hit->exit_code, 0);
+
+    // Different parameter binding: different identity.
+    CacheKey other = key;
+    other.params["m"] = "7";
+    EXPECT_FALSE(cache.lookup(other).has_value());
+    EXPECT_NE(cache_hash(key), cache_hash(other));
+
+    // Epoch bump (code or scenario) orphans the old entry.
+    const ResultCache bumped(dir.path(), /*code_epoch=*/2);
+    CacheKey bumped_key = key;
+    bumped_key.epoch = bumped.combined_epoch(0);
+    EXPECT_FALSE(bumped.lookup(bumped_key).has_value());
+    EXPECT_NE(cache.entry_path(key), bumped.entry_path(bumped_key));
+
+    // A corrupt entry reads as a miss, never as a wrong result.
+    {
+        std::ofstream out(cache.entry_path(key), std::ios::trunc);
+        out << "{ truncated";
+    }
+    EXPECT_FALSE(cache.lookup(key).has_value());
+
+    EXPECT_EQ(cache.stats().entries, 1u);  // only key's (now corrupted) entry was stored
+}
+
+TEST(Cache, StatsAndClear) {
+    const ScratchDir dir("cache_stats");
+    const ResultCache cache(dir.path());
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.clear(), 0u);
+    cache.store({"s", 1, {{"a", "1"}}}, {{}, "r", 0});
+    cache.store({"s", 1, {{"a", "2"}}}, {{}, "r", 0});
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_EQ(cache.clear(), 2u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(Cache, ClearNeverTouchesForeignJsonFiles) {
+    // `dynamo cache clear --cache-dir=.` pointed at a directory with other
+    // JSON in it (say, committed BENCH_*.json baselines) must only remove
+    // files matching the cache's own <scenario>-e<epoch>-<hash>.json form.
+    const ScratchDir dir("cache_foreign");
+    const ResultCache cache(dir.path());
+    cache.store({"s", 1, {{"a", "1"}}}, {{}, "r", 0});
+    const std::string foreign = dir.path() + "/BENCH_search_scaling.json";
+    {
+        std::ofstream out(foreign);
+        out << "{}\n";
+    }
+    EXPECT_EQ(cache.stats().entries, 1u);
+    EXPECT_EQ(cache.clear(), 1u);
+    EXPECT_TRUE(fs::exists(foreign));
+}
+
+Manifest small_campaign_manifest() {
+    return parse_manifest(
+        R"({"name": "camp", "scenario": "mc_density_point",
+            "fixed": {"m": 6, "n": 6, "trials": 4, "colors": 3},
+            "grid": {"density": [0.2, 0.6]},
+            "repetitions": 2, "seed": 7})",
+        "test-manifest");
+}
+
+TEST(Campaign, SerialEqualsPooledBitIdentical) {
+    const Manifest manifest = small_campaign_manifest();
+
+    const ScratchDir serial_dir("camp_serial");
+    CampaignOptions serial;
+    serial.cache_dir = serial_dir.path();
+    const CampaignOutcome serial_outcome = run_campaign(manifest, serial);
+
+    const ScratchDir pooled_dir("camp_pooled");
+    ThreadPool pool(3);
+    CampaignOptions pooled;
+    pooled.cache_dir = pooled_dir.path();
+    pooled.pool = &pool;
+    const CampaignOutcome pooled_outcome = run_campaign(manifest, pooled);
+
+    EXPECT_EQ(serial_outcome.computed, 4u);
+    EXPECT_EQ(pooled_outcome.computed, 4u);
+    EXPECT_EQ(serial_outcome.to_json(manifest), pooled_outcome.to_json(manifest));
+}
+
+TEST(Campaign, WarmRunIsAllCacheHitsAndByteIdentical) {
+    const Manifest manifest = small_campaign_manifest();
+    const ScratchDir dir("camp_warm");
+    CampaignOptions options;
+    options.cache_dir = dir.path();
+
+    const CampaignOutcome cold = run_campaign(manifest, options);
+    EXPECT_EQ(cold.computed, 4u);
+    EXPECT_EQ(cold.cached, 0u);
+    EXPECT_EQ(cold.failed, 0u);
+
+    const CampaignOutcome warm = run_campaign(manifest, options);
+    EXPECT_EQ(warm.computed, 0u) << "warm run must perform zero computations";
+    EXPECT_EQ(warm.cached, 4u);
+    EXPECT_EQ(warm.to_json(manifest), cold.to_json(manifest));
+
+    // --force recomputes everything and still lands on the same report.
+    CampaignOptions force = options;
+    force.force = true;
+    const CampaignOutcome forced = run_campaign(manifest, force);
+    EXPECT_EQ(forced.computed, 4u);
+    EXPECT_EQ(forced.to_json(manifest), cold.to_json(manifest));
+
+    // An epoch bump invalidates the whole campaign.
+    CampaignOptions bumped = options;
+    bumped.code_epoch = kCodeEpoch + 1;
+    const CampaignOutcome invalidated = run_campaign(manifest, bumped);
+    EXPECT_EQ(invalidated.computed, 4u);
+    EXPECT_EQ(invalidated.to_json(manifest), cold.to_json(manifest));
+}
+
+TEST(Campaign, FailedPointsAreReportedAndNeverCached) {
+    const Manifest manifest = parse_manifest(
+        R"({"name": "bad", "scenario": "mc_density_point",
+            "fixed": {"topology": "no-such-topology", "m": 6, "n": 6, "trials": 2}})",
+        "test-manifest");
+    const ScratchDir dir("camp_fail");
+    CampaignOptions options;
+    options.cache_dir = dir.path();
+
+    const CampaignOutcome first = run_campaign(manifest, options);
+    EXPECT_EQ(first.failed, 1u);
+    EXPECT_EQ(first.points[0].result.exit_code, 2);
+    EXPECT_NE(first.points[0].result.report.find("point failed"), std::string::npos);
+    EXPECT_NE(first.to_json(manifest).find("point failed"), std::string::npos);
+
+    // The failure was not cached: a re-run retries the computation.
+    const CampaignOutcome retry = run_campaign(manifest, options);
+    EXPECT_EQ(retry.computed, 1u);
+    EXPECT_EQ(retry.cached, 0u);
+}
+
+TEST(Json, RoundTripAndDeterministicDump) {
+    const std::string text =
+        R"({"name": "x", "vals": [1, 0.1, -3, true, null], "nested": {"s": "a\nb"}})";
+    const util::Json doc = util::Json::parse(text);
+    EXPECT_EQ(doc.find("name")->as_string(), "x");
+    EXPECT_EQ(doc.find("vals")->as_array()[0].as_int(), 1);
+    EXPECT_EQ(doc.find("vals")->as_array()[1].number_lexeme(), "0.1");  // lexeme preserved
+    EXPECT_EQ(doc.find("vals")->as_array()[2].as_int(), -3);
+    EXPECT_TRUE(doc.find("vals")->as_array()[3].as_bool());
+    EXPECT_TRUE(doc.find("vals")->as_array()[4].is_null());
+    EXPECT_EQ(doc.find("nested")->find("s")->as_string(), "a\nb");
+    // dump -> parse -> dump is a fixed point (deterministic writer).
+    const std::string once = doc.dump(2);
+    EXPECT_EQ(util::Json::parse(once).dump(2), once);
+    // Duplicate keys are an error, not a silent overwrite.
+    EXPECT_THROW(util::Json::parse(R"({"a": 1, "a": 2})"), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dynamo::scenario

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -149,8 +150,10 @@ TEST(ParallelFor, EmptyRangeIsNoop) {
 }
 
 TEST(CliArgs, ParsesKeyValueForms) {
-    // Note: a bare flag followed by a non-option token would consume it as
-    // a value ("--flag pos1" means flag=pos1), so flags go last.
+    // Note: without a grammar, a bare flag followed by a non-option token
+    // consumes it as a value ("--flag pos1" means flag=pos1), so
+    // undeclared flags go last. Declared flags (see the grammar tests
+    // below) never consume the next token.
     const char* argv[] = {"prog", "--alpha=3", "--beta", "4", "pos1", "--flag"};
     CliArgs args(6, argv);
     EXPECT_EQ(args.get_int("alpha", 0), 3);
@@ -173,6 +176,65 @@ TEST(CliArgs, RejectsMalformedNumbers) {
     const char* argv[] = {"prog", "--alpha=xyz"};
     CliArgs args(2, argv);
     EXPECT_THROW(args.get_int("alpha", 0), std::invalid_argument);
+}
+
+// Regression: a negative numeric value after a flag ("--offset -3") must
+// bind as the flag's value, not open a new flag or turn into a positional
+// — in every parsing mode.
+TEST(CliArgs, NegativeValueAfterFlagIsAValue) {
+    const char* argv[] = {"prog", "--offset", "-3", "--scale=-2.5"};
+    CliArgs plain(4, argv);
+    EXPECT_EQ(plain.get_int("offset", 0), -3);
+    EXPECT_DOUBLE_EQ(plain.get_double("scale", 0.0), -2.5);
+    EXPECT_TRUE(plain.positional().empty());
+
+    CliGrammar grammar;
+    grammar.value_keys = {"offset"};
+    CliArgs declared(4, argv, grammar);
+    EXPECT_EQ(declared.get_int("offset", 0), -3);
+    EXPECT_TRUE(declared.positional().empty());
+}
+
+TEST(CliArgs, DeclaredFlagNeverConsumesTheNextToken) {
+    // The documented greedy-fallback wart ("--flag pos1" eats pos1) goes
+    // away once the flag is declared in the grammar.
+    const char* argv[] = {"prog", "--flag", "pos1"};
+    CliGrammar grammar;
+    grammar.flag_keys = {"flag"};
+    CliArgs args(3, argv, grammar);
+    EXPECT_TRUE(args.get_flag("flag"));
+    EXPECT_EQ(args.get_string("flag", "sentinel"), "");
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(CliArgs, DeclaredValueKeyAlwaysConsumes) {
+    // A declared value key binds even a "--"-prefixed token as its value,
+    // and reports a missing value instead of silently degrading to a flag.
+    const char* argv[] = {"prog", "--name", "--weird"};
+    CliGrammar grammar;
+    grammar.value_keys = {"name"};
+    CliArgs args(3, argv, grammar);
+    EXPECT_EQ(args.get_string("name", ""), "--weird");
+
+    const char* truncated[] = {"prog", "--name"};
+    EXPECT_THROW(CliArgs(2, truncated, grammar), std::invalid_argument);
+}
+
+TEST(CliArgs, Uint64CoversFullRangeAndRejectsNegatives) {
+    const char* argv[] = {"prog", "--seed=14023699124914558617", "--bad=-1"};
+    CliArgs args(3, argv);
+    EXPECT_EQ(args.get_uint64("seed", 0), 14023699124914558617ull);
+    EXPECT_EQ(args.get_uint64("missing", 7), 7u);
+    EXPECT_THROW(args.get_uint64("bad", 0), std::invalid_argument);
+}
+
+TEST(CliArgs, MapConstructorBindsParams) {
+    const std::map<std::string, std::string> params{{"m", "6"}, {"density", "0.25"}};
+    CliArgs args(params);
+    EXPECT_EQ(args.get_int("m", 0), 6);
+    EXPECT_DOUBLE_EQ(args.get_double("density", 0.0), 0.25);
+    EXPECT_TRUE(args.positional().empty());
 }
 
 TEST(ConsoleTable, AlignsAndCounts) {
