@@ -11,6 +11,7 @@
 // committed BENCH_perf_engine.json captures the committed speedups.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -25,6 +26,7 @@
 #include "core/run/batch.hpp"
 #include "graph/generators.hpp"
 #include "graph/plurality.hpp"
+#include "rules/registry.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -201,14 +203,15 @@ double measure_cells_per_sec(Engine& engine, ThreadPool* pool, std::size_t grain
 }
 
 /// Trials/sec of the serial Monte-Carlo loop shape (one sequential RNG
-/// stream, per-round target bookkeeping, one tracked simulate() per
-/// trial) on an explicit backend. Two baselines are reported: the seed
-/// table-driven engine (Backend::Generic - "seed" in this bench always
-/// names that engine) and the PR-1 packed full sweep (Backend::Packed),
-/// which is what run_density_point actually ran immediately before the
-/// BatchRunner.
+/// stream, per-round target bookkeeping, one tracked run per trial). Two
+/// baselines are reported: the seed table-driven engine (ReferenceSmpRule
+/// through the generic sweep - "seed" in this bench always names that
+/// engine; since the rule-generic PR, Backend::Generic runs the branchless
+/// SmpRule kernel and is no longer the seed loop) and the PR-1 packed full
+/// sweep (Backend::Packed), which is what run_density_point actually ran
+/// immediately before the BatchRunner.
 double mc_serial_trials_per_sec(const grid::Torus& torus, std::size_t trials,
-                                std::uint64_t seed, double density, Backend backend) {
+                                std::uint64_t seed, double density, bool seed_engine) {
     Xoshiro256 rng(seed);
     Stopwatch watch;
     for (std::size_t t = 0; t < trials; ++t) {
@@ -216,8 +219,13 @@ double mc_serial_trials_per_sec(const grid::Torus& torus, std::size_t trials,
             analysis::random_coloring(torus.size(), 1, 4, density, rng);
         RunOptions opts;
         opts.target = 1;
-        opts.backend = backend;
-        benchmark::DoNotOptimize(simulate(torus, initial, opts).rounds);
+        if (seed_engine) {
+            benchmark::DoNotOptimize(
+                simulate_rule(torus, initial, ReferenceSmpRule{}, opts).rounds);
+        } else {
+            opts.backend = Backend::Packed;
+            benchmark::DoNotOptimize(simulate(torus, initial, opts).rounds);
+        }
     }
     return static_cast<double>(trials) / watch.seconds();
 }
@@ -238,6 +246,49 @@ bool trajectories_identical(const grid::Torus& torus, const ColorField& field, i
     BasicSyncEngine<ReferenceSmpRule> seed(torus, field);
     for (int r = 0; r < rounds; ++r) {
         if (packed.step() != seed.step() || packed.colors() != seed.colors()) return false;
+    }
+    return true;
+}
+
+using SweepFn = decltype(dynamo::rules::RuleInfo::sweep);  // the registry entry-point type
+
+/// Cells/second of one registry sweep entry point (serial), ping-ponging
+/// two buffers from `field`. Best of two timed passes: the rules section
+/// feeds a CI ratio gate, and taking the max per arm keeps a co-tenant
+/// burst that lands inside ONE millisecond-scale pass from skewing it.
+double measure_rule_sweep(SweepFn sweep, const grid::Torus& torus, const ColorField& field,
+                          int warmup, int rounds) {
+    ColorField cur = field;
+    ColorField next(field.size());
+    for (int r = 0; r < warmup; ++r) {
+        sweep(torus, cur.data(), next.data(), nullptr, 1 << 14);
+        cur.swap(next);
+    }
+    const double cells = static_cast<double>(torus.size()) * rounds;
+    double best = 0.0;
+    for (int pass = 0; pass < 2; ++pass) {
+        Stopwatch watch;
+        for (int r = 0; r < rounds; ++r) {
+            sweep(torus, cur.data(), next.data(), nullptr, 1 << 14);
+            cur.swap(next);
+        }
+        best = std::max(best, cells / watch.seconds());
+    }
+    return best;
+}
+
+/// Lockstep packed-vs-generic identity for one registered rule.
+bool rule_sweeps_identical(const rules::RuleInfo& rule, const grid::Torus& torus,
+                           const ColorField& field, int rounds) {
+    ColorField a = field, b = field;
+    ColorField a_next(field.size()), b_next(field.size());
+    for (int r = 0; r < rounds; ++r) {
+        const std::size_t ca = rule.sweep(torus, a.data(), a_next.data(), nullptr, 1 << 14);
+        const std::size_t cb =
+            rule.generic_sweep(torus, b.data(), b_next.data(), nullptr, 1 << 14);
+        if (ca != cb || a_next != b_next) return false;
+        a.swap(a_next);
+        b.swap(b_next);
     }
     return true;
 }
@@ -310,9 +361,9 @@ int run_json_report(const CliArgs& args) {
     const grid::Torus mc_torus(grid::Topology::ToroidalMesh, 64, 64);
     mc_batch_trials_per_sec(mc_torus, 8, 0x7a11, kMcDensity, smp);  // warm pool + caches
     const double mc_seed_tps =
-        mc_serial_trials_per_sec(mc_torus, mc_trials, 0xd00d, kMcDensity, Backend::Generic);
+        mc_serial_trials_per_sec(mc_torus, mc_trials, 0xd00d, kMcDensity, /*seed_engine=*/true);
     const double mc_packed_tps =
-        mc_serial_trials_per_sec(mc_torus, mc_trials, 0xd00d, kMcDensity, Backend::Packed);
+        mc_serial_trials_per_sec(mc_torus, mc_trials, 0xd00d, kMcDensity, /*seed_engine=*/false);
     const double mc_serial_tps =
         mc_batch_trials_per_sec(mc_torus, mc_trials, 0xd00d, kMcDensity, nullptr);
     const double mc_pooled_tps =
@@ -325,7 +376,41 @@ int run_json_report(const CliArgs& args) {
               << " trials/s, speedup " << mc_speedup << " (vs packed serial "
               << mc_speedup_packed << ")\n";
 
+    // Rule-comparison section: every registered LocalRule's packed stencil
+    // sweep vs its own generic table sweep on the side x side mesh, with a
+    // lockstep identity check. Both arms run back-to-back in this process,
+    // so the ratio is machine-relative and CI gates the bi-color majority
+    // at >= kRuleTargetSpeedup x (the packed path the rule-generic PR
+    // promised the bi-color benches).
+    constexpr double kRuleTargetSpeedup = 5.0;
+    const grid::Torus rule_torus(grid::Topology::ToroidalMesh, side, side);
     out << "  ],\n"
+        << "  \"rules_target_speedup\": " << kRuleTargetSpeedup << ",\n"
+        << "  \"rules\": {\n";
+    {
+        const auto& all = dynamo::rules::all_rules();
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            const dynamo::rules::RuleInfo& rule = *all[i];
+            const ColorField field =
+                random_field(rule_torus.size(), rule.bicolor() ? 2 : 4, 42);
+            const double generic_cps =
+                measure_rule_sweep(rule.generic_sweep, rule_torus, field, warmup, rounds);
+            const double packed_cps =
+                measure_rule_sweep(rule.sweep, rule_torus, field, warmup, rounds);
+            const bool identical =
+                rule_sweeps_identical(rule, rule_torus, field, std::min(rounds, 8));
+            out << "    \"" << rule.name << "\": {\"generic_cells_per_sec\": " << generic_cps
+                << ", \"packed_cells_per_sec\": " << packed_cps
+                << ", \"speedup\": " << packed_cps / generic_cps
+                << ", \"bit_identical\": " << (identical ? "true" : "false") << "}"
+                << (i + 1 == all.size() ? "" : ",") << "\n";
+            std::cerr << "rule " << rule.name << ": generic " << generic_cps / 1e6
+                      << " Mcells/s, packed " << packed_cps / 1e6 << " Mcells/s, speedup "
+                      << packed_cps / generic_cps << (identical ? "" : " [SWEEP MISMATCH]")
+                      << "\n";
+        }
+    }
+    out << "  },\n"
         << "  \"montecarlo\": {\"side\": 64, \"trials\": " << mc_trials
         << ", \"density\": " << kMcDensity << ", \"target_speedup\": " << kMcTargetSpeedup
         << ",\n"

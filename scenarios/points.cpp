@@ -16,7 +16,9 @@
 #include "core/builders.hpp"
 #include "core/run/simulate.hpp"
 #include "core/search/sharded.hpp"
+#include "core/transform.hpp"
 #include "grid/torus.hpp"
+#include "rules/registry.hpp"
 #include "scenario/scenario.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -38,16 +40,25 @@ int run_mc_density_point(Context& ctx) {
     const auto topo = grid::topology_from_string(ctx.args.get_string("topology", "mesh"));
     const auto m = static_cast<std::uint32_t>(ctx.args.get_int("m", 12));
     const auto n = static_cast<std::uint32_t>(ctx.args.get_int("n", 12));
-    const auto colors = static_cast<Color>(ctx.args.get_int("colors", 4));
+    const rules::RuleInfo& rule = rules::rule_or_throw(ctx.args.get_string("rule", "smp"));
+    // Bi-color rules narrow the default palette to {white, black}; an
+    // explicit --colors still wins (and is validated against the rule).
+    const auto colors = static_cast<Color>(
+        ctx.args.get_int("colors", rule.bicolor() ? 2 : 4));
+    DYNAMO_REQUIRE(rule.admits_palette(colors),
+                   std::string("palette size inadmissible for rule '") + rule.name + "'");
     const double density = ctx.args.get_double("density", 0.3);
     const auto trials = static_cast<std::size_t>(ctx.args.get_int("trials", 120));
     const std::uint64_t seed = ctx.args.get_uint64("seed", 53261);
 
+    // The seeded faction: color 1 under color-symmetric rules, the black
+    // (faulty) faction under the bi-color baselines.
+    const Color k = rule.bicolor() ? kBlack : Color(1);
     const grid::Torus torus(topo, m, n);
     // Serial inside the point: campaigns parallelize ACROSS points, and
     // run_density_point is bit-identical serial vs pooled anyway.
     const analysis::DensityPoint p =
-        analysis::run_density_point(torus, 1, density, colors, trials, seed, nullptr);
+        analysis::run_density_point(torus, k, density, colors, trials, seed, nullptr, &rule);
 
     ConsoleTable table({"density", "P(k-mono)", "other mono", "cycles", "fixed pts",
                         "mean rounds|mono", "mean final k-share"});
@@ -55,7 +66,8 @@ int run_mc_density_point(Context& ctx) {
                   static_cast<double>(p.other_mono) / static_cast<double>(p.trials), p.cycles,
                   p.fixed_points, p.mean_rounds_mono, p.mean_final_k_fraction);
     ctx.out << "M1 density point on the " << to_string(topo) << " " << m << "x" << n << ", |C|="
-            << int(colors) << ", " << trials << " trials, seed " << seed << "\n";
+            << int(colors) << ", rule " << rule.name << ", " << trials << " trials, seed "
+            << seed << "\n";
     table.print(ctx.out);
 
     ctx.metrics["trials"] = std::to_string(p.trials);
@@ -79,8 +91,9 @@ int run_mc_density_point(Context& ctx) {
         {"topology", ParamType::String, "mesh", "", "mesh | cordalis | serpentinus"},
         {"m", ParamType::Int, "12", "6", "torus rows"},
         {"n", ParamType::Int, "12", "6", "torus columns"},
-        {"colors", ParamType::Int, "4", "3", "palette size |C|"},
-        {"density", ParamType::Double, "0.3", "", "per-vertex probability of color k"},
+        {"rule", ParamType::Rule, "smp", "", "local rule the trials run under"},
+        {"colors", ParamType::Int, "4", "3", "palette size |C| (bi-color rules default to 2)"},
+        {"density", ParamType::Double, "0.3", "", "per-vertex probability of the seeded color"},
         {"trials", ParamType::Int, "120", "6", "random colorings per point"},
         {"seed", ParamType::Uint, "53261", "", "base RNG seed (trial t uses substream t)"},
     },
@@ -91,7 +104,9 @@ int run_search_scaling_point(Context& ctx) {
     const auto topo = grid::topology_from_string(ctx.args.get_string("topology", "mesh"));
     const auto rows = static_cast<std::uint32_t>(ctx.args.get_int("rows", 4));
     const auto cols = static_cast<std::uint32_t>(ctx.args.get_int("cols", 4));
-    const auto colors = static_cast<Color>(ctx.args.get_int("colors", 3));
+    const rules::RuleInfo& rule = rules::rule_or_throw(ctx.args.get_string("rule", "smp"));
+    const auto colors = static_cast<Color>(
+        ctx.args.get_int("colors", rule.bicolor() ? 2 : 3));
     const auto max_size = static_cast<std::uint32_t>(ctx.args.get_int("max-size", 4));
     const auto budget = static_cast<std::uint64_t>(ctx.args.get_int("budget", 2'000'000));
     const auto shards = static_cast<unsigned>(ctx.args.get_int("shards", 8));
@@ -100,6 +115,9 @@ int run_search_scaling_point(Context& ctx) {
     ParallelSearchOptions opts;
     opts.base.total_colors = colors;
     opts.base.max_sims = budget;
+    // The drivers normalize the SMP entry onto the pinned seed-era path
+    // themselves, and validate palette + quotient soundness per rule.
+    opts.base.rule = &rule;
     opts.num_shards = shards;
     // Serial on purpose: the outcome is bit-identical pooled vs serial
     // (PR-3 guarantee), and campaigns parallelize across points.
@@ -114,7 +132,8 @@ int run_search_scaling_point(Context& ctx) {
                   "1.." + std::to_string(max_size), min_size, out.complete, out.sims,
                   out.candidates, out.covered, fmt(out.reduction_factor) + "x");
     ctx.out << "symmetry-reduced min monotone dynamo search on the " << to_string(topo)
-            << " (budget " << budget << " sims, " << shards << " shards)\n";
+            << " under rule " << rule.name << " (budget " << budget << " sims, " << shards
+            << " shards)\n";
     table.print(ctx.out);
 
     ctx.metrics["complete"] = out.complete ? "true" : "false";
@@ -138,7 +157,8 @@ int run_search_scaling_point(Context& ctx) {
         {"topology", ParamType::String, "mesh", "", "mesh | cordalis | serpentinus"},
         {"rows", ParamType::Int, "4", "3", "torus rows"},
         {"cols", ParamType::Int, "4", "3", "torus columns"},
-        {"colors", ParamType::Int, "3", "", "palette size |C|"},
+        {"rule", ParamType::Rule, "smp", "", "local rule candidates are verified under"},
+        {"colors", ParamType::Int, "3", "", "palette size |C| (bi-color rules default to 2)"},
         {"max-size", ParamType::Int, "4", "2", "probe seed-set sizes 1..N"},
         {"budget", ParamType::Int, "2000000", "20000", "simulation budget"},
         {"shards", ParamType::Int, "8", "", "deterministic decomposition width"},
@@ -150,20 +170,26 @@ int run_perf_smp_sweep(Context& ctx) {
     const auto topo = grid::topology_from_string(ctx.args.get_string("topology", "mesh"));
     const auto m = static_cast<std::uint32_t>(ctx.args.get_int("m", 256));
     const auto n = static_cast<std::uint32_t>(ctx.args.get_int("n", 256));
+    const rules::RuleInfo& rule = rules::rule_or_throw(ctx.args.get_string("rule", "smp"));
 
     const grid::Torus torus(topo, m, n);
     const Configuration cfg = build_minimum_dynamo(torus);
+    // Bi-color rules run the phi-collapse of the same configuration (the
+    // seeds become the black faction, Propositions 1-2 style); the run is
+    // a long flood under the simple majorities, which is the useful
+    // packed-vs-generic workload.
+    const ColorField field = rule.bicolor() ? phi_collapse(cfg.field, cfg.k) : cfg.field;
 
     RunOptions packed_opts;
     packed_opts.backend = Backend::Packed;
     Stopwatch packed_watch;
-    const RunResult packed = simulate(torus, cfg.field, packed_opts);
+    const RunResult packed = rule.run(torus, field, packed_opts);
     const double packed_ms = packed_watch.millis();
 
     RunOptions generic_opts;
     generic_opts.backend = Backend::Generic;
     Stopwatch generic_watch;
-    const RunResult generic = simulate(torus, cfg.field, generic_opts);
+    const RunResult generic = rule.run(torus, field, generic_opts);
     const double generic_ms = generic_watch.millis();
 
     const bool identical = packed.rounds == generic.rounds &&
@@ -176,7 +202,7 @@ int run_perf_smp_sweep(Context& ctx) {
     table.add_row("generic", generic.rounds, generic_ms,
                   generic_ms > 0 ? cells_rounds / (generic_ms / 1e3) : 0.0);
     ctx.out << "packed vs generic full run of the minimum dynamo on the " << to_string(topo)
-            << " " << m << "x" << n << "\n";
+            << " " << m << "x" << n << " under rule " << rule.name << "\n";
     table.print(ctx.out);
     ctx.out << "trajectories " << (identical ? "bit-identical" : "DIVERGED") << "\n";
     ctx.out << "speedup (generic/packed): " << fmt(packed_ms > 0 ? generic_ms / packed_ms : 0.0)
@@ -200,6 +226,8 @@ int run_perf_smp_sweep(Context& ctx) {
         {"topology", ParamType::String, "mesh", "", "mesh | cordalis | serpentinus"},
         {"m", ParamType::Int, "256", "48", "torus rows"},
         {"n", ParamType::Int, "256", "48", "torus columns"},
+        {"rule", ParamType::Rule, "smp", "majority-prefer-black",
+         "local rule to race packed vs generic"},
     },
     &run_perf_smp_sweep,
 });

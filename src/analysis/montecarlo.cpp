@@ -4,6 +4,7 @@
 
 #include "core/run/batch.hpp"
 #include "core/run/simulate.hpp"
+#include "rules/registry.hpp"
 
 namespace dynamo::analysis {
 
@@ -41,7 +42,11 @@ struct TrialOutcome {
 
 DensityPoint run_density_point(const grid::Torus& torus, Color k, double density,
                                Color num_colors, std::size_t trials, std::uint64_t seed,
-                               ThreadPool* pool) {
+                               ThreadPool* pool, const rules::RuleInfo* rule) {
+    if (rule != nullptr) {
+        DYNAMO_REQUIRE(rule->admits_palette(num_colors),
+                       std::string("palette size inadmissible for rule '") + rule->name + "'");
+    }
     DensityPoint point;
     point.density = density;
     point.trials = trials;
@@ -52,7 +57,8 @@ DensityPoint run_density_point(const grid::Torus& torus, Color k, double density
         const ColorField initial = random_coloring(torus.size(), k, num_colors, density, rng);
         // Backend::Auto: each (serial) trial takes the active-set fast
         // path; parallelism is across trials, not within the sweep.
-        const RunResult result = simulate(torus, initial);
+        const RunResult result =
+            rule != nullptr ? rule->run(torus, initial, RunOptions{}) : simulate(torus, initial);
         outcomes[t] = {result.termination, result.rounds, result.mono,
                        count_color(result.final_colors, k)};
     });
@@ -85,12 +91,13 @@ DensityPoint run_density_point(const grid::Torus& torus, Color k, double density
 std::vector<DensityPoint> run_density_sweep(const grid::Torus& torus, Color k,
                                             const std::vector<double>& densities,
                                             Color num_colors, std::size_t trials,
-                                            std::uint64_t seed, ThreadPool* pool) {
+                                            std::uint64_t seed, ThreadPool* pool,
+                                            const rules::RuleInfo* rule) {
     std::vector<DensityPoint> points;
     points.reserve(densities.size());
     for (std::size_t i = 0; i < densities.size(); ++i) {
         points.push_back(run_density_point(torus, k, densities[i], num_colors, trials,
-                                           substream_seed(seed, i), pool));
+                                           substream_seed(seed, i), pool, rule));
     }
     return points;
 }

@@ -21,6 +21,10 @@
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
+namespace dynamo::rules {
+struct RuleInfo;
+}
+
 namespace dynamo::analysis {
 
 struct DensityPoint {
@@ -45,16 +49,21 @@ ColorField random_coloring(std::size_t size, Color k, Color num_colors, double d
 
 /// One sweep point: `trials` random colorings at the given density, trial
 /// t seeded with substream_seed(seed, t), executed on `pool` when given
-/// (bit-identical results either way).
+/// (bit-identical results either way). `rule` selects the local rule the
+/// trials run under (rules/registry.hpp); nullptr = the SMP protocol, the
+/// seed-era behaviour bit for bit. The caller owns the color conventions:
+/// k is the flooding target under that rule (kBlack for bi-color rules).
 DensityPoint run_density_point(const grid::Torus& torus, Color k, double density,
                                Color num_colors, std::size_t trials, std::uint64_t seed,
-                               ThreadPool* pool = nullptr);
+                               ThreadPool* pool = nullptr,
+                               const rules::RuleInfo* rule = nullptr);
 
 /// Full sweep over a density grid; density i uses the substream
 /// substream_seed(seed, i) so points are independent of each other too.
 std::vector<DensityPoint> run_density_sweep(const grid::Torus& torus, Color k,
                                             const std::vector<double>& densities,
                                             Color num_colors, std::size_t trials,
-                                            std::uint64_t seed, ThreadPool* pool = nullptr);
+                                            std::uint64_t seed, ThreadPool* pool = nullptr,
+                                            const rules::RuleInfo* rule = nullptr);
 
 } // namespace dynamo::analysis

@@ -4,6 +4,7 @@
 
 #include "core/run/runner.hpp"
 #include "core/sim/packed_engine.hpp"
+#include "rules/registry.hpp"
 
 namespace dynamo {
 
@@ -32,9 +33,7 @@ DynamoVerdict verify_dynamo(const grid::Torus& torus, const ColorField& initial,
     return verdict;
 }
 
-namespace {
-
-QuickVerdict classify_run(const RunResult& result, Color k) {
+QuickVerdict classify_quick_verdict(const RunResult& result, Color k) {
     QuickVerdict verdict;
     verdict.rounds = result.rounds;
     verdict.is_dynamo = result.reached_mono(k);
@@ -42,20 +41,23 @@ QuickVerdict classify_run(const RunResult& result, Color k) {
     return verdict;
 }
 
-} // namespace
-
 QuickVerdict quick_verify_dynamo(const grid::Torus& torus, const ColorField& initial, Color k) {
     sim::PackedEngine engine(torus, initial);
     RunOptions opts;
     opts.target = k;
-    return classify_run(run_to_terminal(engine, opts), k);
+    return classify_quick_verdict(run_to_terminal(engine, opts), k);
 }
 
 QuickVerdict quick_verify_dynamo(sim::PackedEngine& engine, const ColorField& initial, Color k) {
     engine.reset(initial);
     RunOptions opts;
     opts.target = k;
-    return classify_run(run_to_terminal(engine, opts), k);
+    return classify_quick_verdict(run_to_terminal(engine, opts), k);
+}
+
+QuickVerdict quick_verify_dynamo(const grid::Torus& torus, const ColorField& initial, Color k,
+                                 const rules::RuleInfo& rule) {
+    return rule.quick_verify(torus, initial, k);
 }
 
 bool has_non_dynamo_certificate(const grid::Torus& torus, const ColorField& initial, Color k) {

@@ -13,11 +13,12 @@
 
 #include "core/blocks.hpp"
 #include "core/engine.hpp"
+#include "core/sim/packed_engine.hpp"
 
 namespace dynamo {
 
-namespace sim {
-class PackedEngine;
+namespace rules {
+struct RuleInfo;
 }
 
 struct DynamoVerdict {
@@ -43,12 +44,24 @@ struct QuickVerdict {
     bool is_monotone = false;
     std::uint32_t rounds = 0;
 };
+
+/// Classify a finished run as a QuickVerdict for target k. The ONE
+/// verdict fold, shared by the quick_verify_dynamo overloads and the
+/// rule registry's monomorphized verifiers (rules/registry.cpp).
+QuickVerdict classify_quick_verdict(const RunResult& result, Color k);
 QuickVerdict quick_verify_dynamo(const grid::Torus& torus, const ColorField& initial, Color k);
 
 /// Hot-loop overload: resets a caller-owned engine to `initial` and runs
 /// it, so per-candidate heap allocation drops out of search inner loops.
 /// The engine's torus must match the field.
 QuickVerdict quick_verify_dynamo(sim::PackedEngine& engine, const ColorField& initial, Color k);
+
+/// Rule-generic verdict: same classification, simulated under `rule`'s
+/// packed engine (rules/registry.hpp) with `initial` in the rule's own
+/// color conventions and k the flooding target. The two-argument forms
+/// above remain the SMP instantiation.
+QuickVerdict quick_verify_dynamo(const grid::Torus& torus, const ColorField& initial, Color k,
+                                 const rules::RuleInfo& rule);
 
 /// Fast *negative* certificate (no simulation): if the complement of S_k
 /// already contains a non-k-block (Definition 5), S_k cannot be a dynamo.

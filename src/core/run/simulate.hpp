@@ -1,16 +1,18 @@
 // dynamo/core/run/simulate.hpp
 //
 // The torus-level entry points of the run API: simulate() (the
-// SMP-Protocol) and simulate_rule() (any local rule), routed through a
+// SMP-Protocol), simulate_as<R>() (any LocalRule on the packed fast path),
+// and simulate_rule() (any runtime rule functor), routed through a
 // Backend-selected engine and the shared run_to_terminal() driver.
 //
-// Backend::Auto picks the fastest correct substrate: SMP dynamo runs go
+// Backend::Auto picks the fastest correct substrate: a LocalRule goes
 // through the active-set engine (per-round cost O(frontier), the thin-wave
-// regime of Theorems 7-8) when serial, the pooled packed full sweep when a
-// ThreadPool is supplied, and any other rule takes the table-driven
-// generic sweep. All backends produce bit-identical RunResults - same
-// trajectories, same terminal classification, same round accounting
-// (property-tested in tests/test_run.cpp).
+// regime of Theorems 7-8) when serial and the pooled packed full sweep
+// when a ThreadPool is supplied; a runtime rule functor takes the
+// table-driven generic sweep. All backends produce bit-identical
+// RunResults - same trajectories, same terminal classification, same round
+// accounting (property-tested per rule in tests/test_run.cpp and
+// tests/test_rules.cpp).
 #pragma once
 
 #include <array>
@@ -19,6 +21,7 @@
 
 #include "core/run/runner.hpp"
 #include "core/sim/active_engine.hpp"
+#include "core/sim/packed_engine.hpp"
 #include "core/sync_engine.hpp"
 #include "grid/torus.hpp"
 
@@ -34,23 +37,18 @@ struct GenericRule {
     }
 };
 
-/// Run `rule` from `initial` until a terminal behaviour (see Termination).
-template <typename Rule>
-RunResult simulate_rule(const grid::Torus& torus, const ColorField& initial, Rule rule,
-                        const RunOptions& options = {}) {
+/// Run the LocalRule `R` from `initial` until a terminal behaviour (see
+/// Termination). The monomorphized core of every rule's entry point: the
+/// registry (rules/registry.hpp) exposes exactly this function per
+/// registered rule.
+template <sim::LocalRule R>
+RunResult simulate_as(const grid::Torus& torus, const ColorField& initial,
+                      const RunOptions& options = {}) {
     require_complete(torus, initial);
-    constexpr bool is_smp = std::is_same_v<Rule, SmpRuleFn>;
-
     Backend backend = options.backend;
     if (backend == Backend::Auto) {
-        if (!is_smp) {
-            backend = Backend::Generic;
-        } else {
-            backend = options.pool != nullptr ? Backend::Packed : Backend::Active;
-        }
+        backend = options.pool != nullptr ? Backend::Packed : Backend::Active;
     }
-    DYNAMO_REQUIRE(backend != Backend::Active || is_smp,
-                   "Backend::Active implements only the SMP rule");
     // The active-set engine is serial by design (span bookkeeping is not
     // partitioned); refuse the combination rather than silently ignoring
     // the pool. Backend::Auto already routes pooled runs to Packed.
@@ -59,23 +57,46 @@ RunResult simulate_rule(const grid::Torus& torus, const ColorField& initial, Rul
                    "with a ThreadPool");
 
     if (backend == Backend::Active) {
-        if constexpr (is_smp) {
-            sim::ActiveEngine engine(torus, initial);
-            return run_to_terminal(engine, options);
-        }
-    }
-    if (backend == Backend::Generic) {
-        BasicSyncEngine<GenericRule<Rule>> engine(torus, initial, GenericRule<Rule>{rule});
+        sim::ActiveEngineT<R> engine(torus, initial);
         return run_to_terminal(engine, options);
     }
-    BasicSyncEngine<Rule> engine(torus, initial, std::move(rule));
+    if (backend == Backend::Generic) {
+        BasicSyncEngine<sim::RuleFnOf<R>> engine(torus, initial);
+        return run_to_terminal(engine, options);
+    }
+    sim::PackedEngineT<R> engine(torus, initial);
     return run_to_terminal(engine, options);
+}
+
+/// Run a runtime rule functor from `initial` until a terminal behaviour.
+/// SmpRuleFn is recognized and forwarded to the packed path; any other
+/// functor type steps the table-driven sweep (a LocalRule type should use
+/// simulate_as<R>() or its registry entry instead).
+template <typename Rule>
+RunResult simulate_rule(const grid::Torus& torus, const ColorField& initial, Rule rule,
+                        const RunOptions& options = {}) {
+    if constexpr (std::is_same_v<Rule, SmpRuleFn>) {
+        return simulate_as<sim::SmpRule>(torus, initial, options);
+    } else {
+        require_complete(torus, initial);
+        const Backend backend =
+            options.backend == Backend::Auto ? Backend::Generic : options.backend;
+        DYNAMO_REQUIRE(backend != Backend::Active,
+                       "Backend::Active needs a static LocalRule; use simulate_as<R>() or a "
+                       "registered rule");
+        if (backend == Backend::Generic) {
+            BasicSyncEngine<GenericRule<Rule>> engine(torus, initial, GenericRule<Rule>{rule});
+            return run_to_terminal(engine, options);
+        }
+        BasicSyncEngine<Rule> engine(torus, initial, std::move(rule));
+        return run_to_terminal(engine, options);
+    }
 }
 
 /// Run the SMP-Protocol from `initial` until a terminal behaviour.
 inline RunResult simulate(const grid::Torus& torus, const ColorField& initial,
                           const RunOptions& options = {}) {
-    return simulate_rule(torus, initial, SmpRuleFn{}, options);
+    return simulate_as<sim::SmpRule>(torus, initial, options);
 }
 
 } // namespace dynamo

@@ -7,10 +7,22 @@
 
 #include "core/blocks.hpp"
 #include "core/dynamo.hpp"
+#include "rules/registry.hpp"
 
 namespace dynamo {
 
 namespace search_detail {
+
+const rules::RuleInfo& validate_search_rule(const SearchOptions& options) {
+    const rules::RuleInfo& rule =
+        options.rule != nullptr ? *options.rule : rules::smp_rule();
+    DYNAMO_REQUIRE(rule.admits_palette(options.total_colors),
+                   std::string("palette size inadmissible for rule '") + rule.name + "'");
+    DYNAMO_REQUIRE((!options.use_box_prune && !options.use_block_prune) ||
+                       &rule == &rules::smp_rule(),
+                   "the box/block prunes are SMP-specific; disable them for other rules");
+    return rule;
+}
 
 bool next_combination(std::vector<std::uint32_t>& comb, std::uint32_t n) {
     const std::size_t s = comb.size();
@@ -45,6 +57,10 @@ struct ProbeContext {
     const SearchOptions& options;
     std::uint64_t& sims;
     std::uint64_t& candidates;
+    /// Non-null when options.rule is set: candidates verify through the
+    /// rule's packed-engine verifier. Null keeps the seed-era SMP path
+    /// (verify_dynamo) verbatim, pinned accounting and all.
+    rules::RuleVerifier* verifier = nullptr;
 };
 
 /// Try every complement coloring for a fixed seed set. Returns 1 if a
@@ -80,9 +96,14 @@ int probe_seed_set(ProbeContext& ctx, const std::vector<grid::VertexId>& seeds,
         if (opt.use_block_prune && has_non_k_block(torus, field, kSeedColor)) continue;
 
         if (++ctx.sims > opt.max_sims) return -1;
-        const DynamoVerdict verdict = verify_dynamo(torus, field, kSeedColor);
-        const bool hit =
-            opt.require_monotone ? verdict.is_monotone : verdict.is_dynamo;
+        bool hit;
+        if (ctx.verifier != nullptr) {
+            const QuickVerdict verdict = ctx.verifier->verify(field);
+            hit = opt.require_monotone ? verdict.is_monotone : verdict.is_dynamo;
+        } else {
+            const DynamoVerdict verdict = verify_dynamo(torus, field, kSeedColor);
+            hit = opt.require_monotone ? verdict.is_monotone : verdict.is_dynamo;
+        }
         if (hit) {
             witness = field;
             return 1;
@@ -91,15 +112,25 @@ int probe_seed_set(ProbeContext& ctx, const std::vector<grid::VertexId>& seeds,
     return 0;
 }
 
+/// Validate the rule options and build the verifier to probe through
+/// (null = the pinned SMP path, which verify_dynamo serves verbatim).
+std::unique_ptr<rules::RuleVerifier> validate_rule_options(const grid::Torus& torus,
+                                                           const SearchOptions& options) {
+    const rules::RuleInfo& rule = search_detail::validate_search_rule(options);
+    if (&rule == &rules::smp_rule()) return nullptr;
+    return rule.make_search_verifier(torus);
+}
+
 } // namespace
 
 SeedProbe seed_set_admits_dynamo(const grid::Torus& torus,
                                  const std::vector<grid::VertexId>& seeds,
                                  const SearchOptions& options) {
     DYNAMO_REQUIRE(options.total_colors >= 2, "need at least two colors");
+    const std::unique_ptr<rules::RuleVerifier> verifier = validate_rule_options(torus, options);
     SeedProbe probe;
     std::uint64_t sims = 0, candidates = 0;
-    ProbeContext ctx{torus, options, sims, candidates};
+    ProbeContext ctx{torus, options, sims, candidates, verifier.get()};
     ColorField witness;
     const int r = probe_seed_set(ctx, seeds, witness);
     probe.found = r == 1;
@@ -114,10 +145,11 @@ SearchOutcome exhaustive_min_dynamo(const grid::Torus& torus, std::uint32_t max_
     DYNAMO_REQUIRE(options.total_colors >= 2, "need at least two colors");
     const auto n = static_cast<std::uint32_t>(torus.size());
     DYNAMO_REQUIRE(max_size <= n, "max_size exceeds |V|");
+    const std::unique_ptr<rules::RuleVerifier> verifier = validate_rule_options(torus, options);
 
     SearchOutcome outcome;
     std::uint64_t sims = 0, candidates = 0;
-    ProbeContext ctx{torus, options, sims, candidates};
+    ProbeContext ctx{torus, options, sims, candidates, verifier.get()};
 
     const auto fill_counts = [&] {
         outcome.sims = sims;

@@ -13,6 +13,9 @@
 //     including the sims == budget + 1 truncation accounting);
 //   * the brute-force oracle that the symmetry-reduced sharded driver
 //     (core/search/sharded.hpp) is tested against.
+// SearchOptions::rule threads any registered LocalRule through the same
+// enumeration (candidates verify through the rule's RuleVerifier); the
+// default nullptr/SMP path is untouched.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +37,14 @@ SeedProbe seed_set_admits_dynamo(const grid::Torus& torus,
                                  const SearchOptions& options = {});
 
 namespace search_detail {
+
+/// Resolve and validate SearchOptions::rule for a search driver: palette
+/// admissibility, and the SMP-only box/block prunes refused for every
+/// other rule. Returns the resolved registry entry (SMP when rule is
+/// null). The ONE rule-option validator, shared by the serial enumerator
+/// and the sharded driver so the two can never drift apart; the sharded
+/// driver layers its quotient-soundness check on top.
+const rules::RuleInfo& validate_search_rule(const SearchOptions& options);
 
 /// Advance a combination (sorted index vector over [0, n)); returns false
 /// after the last combination. Shared by both search drivers.

@@ -16,7 +16,7 @@
 #include "core/dynamo.hpp"
 #include "core/search/canonical.hpp"
 #include "core/search/enumerate.hpp"
-#include "core/sim/packed_engine.hpp"
+#include "rules/registry.hpp"
 
 namespace dynamo {
 
@@ -34,12 +34,13 @@ struct UnitResult {
 };
 
 /// Examine every (canonical) complement coloring of one canonical seed
-/// set, verifying through the packed engine. `sim_budget` is the shard's
-/// remaining slice; on exhaustion the result reports status -1 with the
-/// same "stopped right after exceeding" accounting the serial enumerator
-/// uses.
+/// set, verifying through the rule's packed-engine verifier. `sim_budget`
+/// is the shard's remaining slice; on exhaustion the result reports status
+/// -1 with the same "stopped right after exceeding" accounting the serial
+/// enumerator uses.
 UnitResult probe_unit(const grid::Torus& torus, const SearchOptions& opt,
-                      const SymmetryGroup* group, const std::vector<std::size_t>& stabilizer,
+                      const rules::RuleInfo& rule, const SymmetryGroup* group,
+                      const std::vector<std::size_t>& stabilizer,
                       const std::vector<grid::VertexId>& seeds, std::uint64_t sim_budget) {
     UnitResult result;
 
@@ -60,7 +61,9 @@ UnitResult probe_unit(const grid::Torus& torus, const SearchOptions& opt,
     const auto base = static_cast<std::uint8_t>(opt.total_colors - 1);
     ColorField field(torus.size(), kSeedColor);
     ColorField scratch;
-    sim::PackedEngine engine(torus, field);  // reset per candidate, no realloc
+    // One engine per unit, reset per candidate (no realloc); the verifier
+    // also owns the search->rule color-convention bridge.
+    const std::unique_ptr<rules::RuleVerifier> verifier = rule.make_search_verifier(torus);
 
     const auto examine = [&](const std::vector<std::uint8_t>& digits) -> int {
         for (std::size_t idx = 0; idx < rest.size(); ++idx) {
@@ -77,7 +80,7 @@ UnitResult probe_unit(const grid::Torus& torus, const SearchOptions& opt,
         result.covered += orbit;
         if (opt.use_block_prune && has_non_k_block(torus, field, kSeedColor)) return 0;
         if (++result.sims > sim_budget) return -1;
-        const QuickVerdict verdict = quick_verify_dynamo(engine, field, kSeedColor);
+        const QuickVerdict verdict = verifier->verify(field);
         return (opt.require_monotone ? verdict.is_monotone : verdict.is_dynamo) ? 1 : 0;
     };
 
@@ -122,6 +125,15 @@ SearchOutcome parallel_min_dynamo(const grid::Torus& torus, std::uint32_t max_si
                                   SearchCheckpoint* checkpoint) {
     const SearchOptions& base = options.base;
     DYNAMO_REQUIRE(base.total_colors >= 2, "need at least two colors");
+    const rules::RuleInfo& rule = search_detail::validate_search_rule(base);
+    // On top of the shared validation: the color-relabeling half of the
+    // quotient permutes the non-seed colors 2..|C|, which only preserves
+    // dynamo-ness for color-symmetric rules - or trivially when |C| = 2
+    // (one non-seed color: the identity).
+    DYNAMO_REQUIRE(!options.use_symmetry || rule.color_symmetric || base.total_colors == 2,
+                   std::string("rule '") + rule.name +
+                       "' is not color-symmetric: the symmetry quotient needs |C| = 2 or "
+                       "use_symmetry = false");
     const auto n = static_cast<std::uint32_t>(torus.size());
     DYNAMO_REQUIRE(max_size <= n, "max_size exceeds |V|");
     const unsigned shards = options.num_shards;
@@ -143,6 +155,9 @@ SearchOutcome parallel_min_dynamo(const grid::Torus& torus, std::uint32_t max_si
           static_cast<std::uint64_t>(base.use_block_prune), base.max_sims,
           static_cast<std::uint64_t>(shards), static_cast<std::uint64_t>(options.use_symmetry)}) {
         fingerprint = fingerprint * 0x100000001b3ULL ^ part;  // FNV-style mix
+    }
+    for (const char* c = rule.name; *c != '\0'; ++c) {  // a checkpoint never crosses rules
+        fingerprint = fingerprint * 0x100000001b3ULL ^ static_cast<std::uint64_t>(*c);
     }
 
     // Fixed per-shard budget slices (remainder to the low shards): the
@@ -236,8 +251,8 @@ SearchOutcome parallel_min_dynamo(const grid::Torus& torus, std::uint32_t max_si
                 const std::vector<std::size_t> stabilizer =
                     group ? group->set_stabilizer(units[j]) : std::vector<std::size_t>{0};
                 UnitResult unit =
-                    probe_unit(torus, base, group ? &*group : nullptr, stabilizer, units[j],
-                               slice[s] - used);
+                    probe_unit(torus, base, rule, group ? &*group : nullptr, stabilizer,
+                               units[j], slice[s] - used);
                 st.sims += unit.sims;
                 st.candidates += unit.candidates;
                 st.covered += unit.covered;

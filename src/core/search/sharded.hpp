@@ -12,8 +12,10 @@
 //     shards - canonical seed set j of the current size belongs to shard
 //     j mod num_shards, whatever thread runs it - so the aggregate outcome
 //     is bit-identical serial vs pooled (the BatchRunner guarantee);
-//   * every candidate is verified through the PR-1 packed engine via
-//     run_to_terminal (quick_verify_dynamo);
+//   * every candidate is verified through the rule's packed engine via
+//     run_to_terminal (SearchOptions::rule -> RuleVerifier; nullptr = the
+//     SMP protocol, the seed-era path bit for bit — non-SMP rules get the
+//     soundness guards described in types.hpp);
 //   * the simulation budget is split into fixed per-shard slices; a shard
 //     that exhausts its slice raises a shared atomic truncation flag and
 //     stops, the OTHER shards still finish the current size, and the

@@ -27,12 +27,27 @@
 
 namespace dynamo {
 
+namespace rules {
+struct RuleInfo;
+}
+
 struct SearchOptions {
     Color total_colors = 3;        ///< |C|; seeds hold color 1, others 2..|C|
     bool require_monotone = true;  ///< count only monotone dynamos (Thm 1/3/5 scope)
     bool use_box_prune = false;    ///< apply Lemma-1 bounding-box necessity
     bool use_block_prune = false;  ///< apply non-k-block certificates
     std::uint64_t max_sims = 50'000'000;  ///< simulation budget
+    /// Local rule candidates are verified under (rules/registry.hpp);
+    /// nullptr = the SMP protocol, the seed-era behaviour. Candidates stay
+    /// in the search convention (seeds = color 1, complement 2..|C|); the
+    /// rule's RuleVerifier bridges to its own color conventions (bi-color
+    /// rules treat the seeds as the black faction). Constraints enforced
+    /// by the drivers: the palette must be admissible for the rule, and
+    /// the symmetry quotient requires a color-symmetric rule or |C| = 2
+    /// (where relabeling the single non-seed color is the identity). The
+    /// box/block prunes encode SMP-specific lemmas and are refused for
+    /// other rules.
+    const rules::RuleInfo* rule = nullptr;
 };
 
 struct SearchOutcome {

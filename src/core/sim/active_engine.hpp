@@ -23,9 +23,14 @@
 // workloads with many disjoint per-row fronts would want a segmented
 // span list instead.
 //
-// Semantics are *identical* to the full sweep: same double-buffered
-// synchronous update, same results bit-for-bit (property-tested against
-// the full sweep in tests/test_frontier.cpp and tests/test_sim_packed.cpp).
+// Semantics are *identical* to the full sweep of the same rule: same
+// double-buffered synchronous update, same results bit-for-bit
+// (property-tested against the full sweep in tests/test_frontier.cpp,
+// tests/test_sim_packed.cpp, and per-rule in tests/test_rules.cpp). The
+// span bookkeeping is rule-agnostic - "only vertices whose neighborhood
+// changed can change" holds for every deterministic local rule - so the
+// engine is a template over the LocalRule; `ActiveEngine` remains the SMP
+// instantiation.
 #pragma once
 
 #include <cstdint>
@@ -37,9 +42,10 @@
 
 namespace dynamo::sim {
 
-class ActiveEngine {
+template <LocalRule R = SmpRule>
+class ActiveEngineT {
   public:
-    ActiveEngine(const grid::Torus& torus, ColorField initial)
+    ActiveEngineT(const grid::Torus& torus, ColorField initial)
         : torus_(&torus), cur_(std::move(initial)), next_(cur_.size()) {
         require_complete(torus, cur_);
         const std::uint32_t m = torus.rows();
@@ -83,7 +89,7 @@ class ActiveEngine {
         // from cur_, so this is the usual synchronous double-buffered round
         // restricted to cells whose neighborhood may have changed.
         for (const std::uint32_t i : active_rows_) {
-            detail::sweep_row_window(*torus_, cur_.data(), next_.data(), i, lo_[i], hi_[i]);
+            detail::sweep_row_window<R>(*torus_, cur_.data(), next_.data(), i, lo_[i], hi_[i]);
         }
 
         // Phase 2: commit changed cells and mark them + their neighbors
@@ -137,5 +143,8 @@ class ActiveEngine {
     std::vector<std::uint32_t> next_active_rows_;
     std::uint32_t round_ = 0;
 };
+
+/// The SMP instantiation under its seed-era name.
+using ActiveEngine = ActiveEngineT<SmpRule>;
 
 } // namespace dynamo::sim

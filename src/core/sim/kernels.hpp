@@ -1,6 +1,10 @@
 // dynamo/core/sim/kernels.hpp
 //
-// Branchless cell kernels for the packed-state sweep (core/sim/sweep.hpp).
+// Branchless cell kernels for the packed-state sweep (core/sim/sweep.hpp),
+// templated over the LocalRule concept (core/sim/local_rule.hpp). This
+// header owns the SMP instantiation; the other family members (bi-color
+// majorities, thresholds, the ordered "+1" rule) live in rules/ next to
+// their reference functors.
 //
 // The SMP rule (core/smp_rule.hpp) is re-derived here in a select-only
 // form that a vectorizer can lift to SIMD over a row of 8-bit colors.
@@ -32,46 +36,63 @@
 #include <cstdint>
 
 #include "core/coloring.hpp"
-#include "core/smp_rule.hpp"
+#include "core/sim/local_rule.hpp"
 #include "grid/torus.hpp"
 
 namespace dynamo::sim {
 
-/// Branchless SMP update: own color + the 4 neighbor slot colors -> next
-/// color. Semantically identical to smp_update(); written with selects so
+/// The SMP-Protocol (paper Algorithm 1) as a LocalRule: adopt the unique
+/// neighbor plurality of multiplicity >= 2, else keep. Semantically
+/// identical to smp_update() (core/smp_rule.hpp); written with selects so
 /// the row sweep below auto-vectorizes.
+struct SmpRule {
+    static constexpr const char* kName = "smp";
+    static constexpr Color kMinColors = 2;
+    static constexpr Color kMaxColors = 0;  // any palette
+    static constexpr TiePolicy kTie = TiePolicy::PreferCurrent;
+    static constexpr bool kIrreversible = false;
+    static constexpr bool kColorSymmetric = true;
+
+    static constexpr Color next(Color own, Color a, Color b, Color c, Color d) noexcept {
+        const std::uint8_t e01 = a == b, e02 = a == c, e03 = a == d;
+        const std::uint8_t e12 = b == c, e13 = b == d, e23 = c == d;
+        const std::uint8_t ea = static_cast<std::uint8_t>(e01 + e02 + e03);
+        const std::uint8_t eb = static_cast<std::uint8_t>(e01 + e12 + e13);
+        const std::uint8_t ec = static_cast<std::uint8_t>(e02 + e12 + e23);
+        const std::uint8_t ed = static_cast<std::uint8_t>(e03 + e13 + e23);
+        const std::uint8_t sum = static_cast<std::uint8_t>(ea + eb + ec + ed);
+
+        Color cand = a;
+        std::uint8_t best = ea;
+        cand = eb > best ? b : cand;
+        best = eb > best ? eb : best;
+        cand = ec > best ? c : cand;
+        best = ec > best ? ec : best;
+        cand = ed > best ? d : cand;
+        best = ed > best ? ed : best;
+
+        const bool adopt = (best >= 1) & (sum != 4);
+        return adopt ? cand : own;
+    }
+};
+
+/// Seed-era name for the SMP cell kernel, kept so existing call sites
+/// (tests, benches) compile unchanged.
 constexpr Color smp_next(Color own, Color a, Color b, Color c, Color d) noexcept {
-    const std::uint8_t e01 = a == b, e02 = a == c, e03 = a == d;
-    const std::uint8_t e12 = b == c, e13 = b == d, e23 = c == d;
-    const std::uint8_t ea = static_cast<std::uint8_t>(e01 + e02 + e03);
-    const std::uint8_t eb = static_cast<std::uint8_t>(e01 + e12 + e13);
-    const std::uint8_t ec = static_cast<std::uint8_t>(e02 + e12 + e23);
-    const std::uint8_t ed = static_cast<std::uint8_t>(e03 + e13 + e23);
-    const std::uint8_t sum = static_cast<std::uint8_t>(ea + eb + ec + ed);
-
-    Color cand = a;
-    std::uint8_t best = ea;
-    cand = eb > best ? b : cand;
-    best = eb > best ? eb : best;
-    cand = ec > best ? c : cand;
-    best = ec > best ? ec : best;
-    cand = ed > best ? d : cand;
-    best = ed > best ? ed : best;
-
-    const bool adopt = (best >= 1) & (sum != 4);
-    return adopt ? cand : own;
+    return SmpRule::next(own, a, b, c, d);
 }
 
 /// Stencil sweep of one row restricted to interior columns [jlo, jhi),
 /// 1 <= jlo <= jhi <= n-1. `up` / `row` / `down` point at the start of the
 /// three source rows, `out` at the start of the destination row. Returns
 /// the number of cells that changed color. The single hot loop of the
-/// packed engine: unit-stride 8-bit loads, no table, no branches.
+/// packed engines: unit-stride 8-bit loads, no table, no branches.
+template <LocalRule R>
 inline std::size_t sweep_row_interior(const Color* up, const Color* row, const Color* down,
                                       Color* out, std::size_t jlo, std::size_t jhi) noexcept {
     std::size_t changed = 0;
     for (std::size_t j = jlo; j < jhi; ++j) {
-        const Color next = smp_next(row[j], up[j], down[j], row[j - 1], row[j + 1]);
+        const Color next = R::next(row[j], up[j], down[j], row[j - 1], row[j + 1]);
         out[j] = next;
         changed += next != row[j];
     }
@@ -81,10 +102,11 @@ inline std::size_t sweep_row_interior(const Color* up, const Color* row, const C
 /// Fallback cell kernel for boundary cells (columns 0 / n-1 everywhere,
 /// plus the serpentine-wrapped rows 0 / m-1): gather the 4 slots from the
 /// torus's precomputed flat neighbor table.
+template <LocalRule R>
 inline std::size_t sweep_cell_table(const Color* src, Color* dst, const grid::VertexId* table,
                                     std::size_t v) noexcept {
     const grid::VertexId* nb = table + v * grid::kDegree;
-    const Color next = smp_next(src[v], src[nb[0]], src[nb[1]], src[nb[2]], src[nb[3]]);
+    const Color next = R::next(src[v], src[nb[0]], src[nb[1]], src[nb[2]], src[nb[3]]);
     dst[v] = next;
     return next != src[v];
 }

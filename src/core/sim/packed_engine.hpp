@@ -2,12 +2,13 @@
 //
 // The packed-state full-sweep engine: two row-major 8-bit color buffers
 // ping-ponged through the cache-blocked stencil sweep of
-// core/sim/sweep.hpp. Semantically identical to the seed double-buffered
-// engine (same synchronous round, same change counts, bit-identical
-// trajectories - tests/test_sim_packed.cpp); the difference is purely the
-// per-round cost. BasicSyncEngine<SmpRuleFn> (core/engine.hpp) routes
-// through the same sweep, so this class exists for callers that want the
-// fast path explicitly without the template machinery.
+// core/sim/sweep.hpp, templated over the LocalRule being stepped.
+// Semantically identical to the seed double-buffered engine under the same
+// rule (same synchronous round, same change counts, bit-identical
+// trajectories - tests/test_sim_packed.cpp, tests/test_rules.cpp); the
+// difference is purely the per-round cost. `PackedEngine` remains the SMP
+// instantiation for the seed-era call sites; the rule registry
+// (rules/registry.hpp) monomorphizes the others.
 #pragma once
 
 #include <cstdint>
@@ -19,9 +20,10 @@
 
 namespace dynamo::sim {
 
-class PackedEngine {
+template <LocalRule R = SmpRule>
+class PackedEngineT {
   public:
-    PackedEngine(const grid::Torus& torus, ColorField initial)
+    PackedEngineT(const grid::Torus& torus, ColorField initial)
         : torus_(&torus), cur_(std::move(initial)), next_(cur_.size()) {
         require_complete(torus, cur_);
     }
@@ -29,7 +31,8 @@ class PackedEngine {
     /// One synchronous round; returns the number of vertices that changed
     /// color. Deterministic for any pool/grain combination.
     std::size_t step(ThreadPool* pool = nullptr, std::size_t grain = 1 << 14) {
-        const std::size_t changed = smp_sweep(*torus_, cur_.data(), next_.data(), pool, grain);
+        const std::size_t changed =
+            rule_stencil_sweep<R>(*torus_, cur_.data(), next_.data(), pool, grain);
         cur_.swap(next_);
         ++round_;
         return changed;
@@ -39,7 +42,8 @@ class PackedEngine {
     /// vertex order), for the run layer's observers.
     std::size_t step_collect(std::vector<CellChange>& out, ThreadPool* pool = nullptr,
                              std::size_t grain = 1 << 14) {
-        const std::size_t changed = smp_sweep(*torus_, cur_.data(), next_.data(), pool, grain);
+        const std::size_t changed =
+            rule_stencil_sweep<R>(*torus_, cur_.data(), next_.data(), pool, grain);
         if (changed != 0) append_changes(cur_, next_, out);
         cur_.swap(next_);
         ++round_;
@@ -65,5 +69,8 @@ class PackedEngine {
     ColorField next_;
     std::uint32_t round_ = 0;
 };
+
+/// The SMP instantiation under its seed-era name.
+using PackedEngine = PackedEngineT<SmpRule>;
 
 } // namespace dynamo::sim

@@ -1,6 +1,7 @@
 // dynamo/core/sim/sweep.hpp
 //
-// Packed-state synchronous sweeps over the three torus topologies.
+// Packed-state synchronous sweeps over the three torus topologies,
+// templated over the LocalRule concept (core/sim/local_rule.hpp).
 //
 // The seed engine walked the flat neighbor table: 16 bytes of indices plus
 // 4 scattered color loads per cell. For these topologies that traffic is
@@ -10,6 +11,9 @@
 // 8-bit color buffers (core/sim/kernels.hpp) — unit-stride, table-free,
 // auto-vectorizable. Only columns 0 / n-1 and (for the torus serpentinus)
 // rows 0 / m-1 fall back to the precomputed table, O(m + n) cells of O(mn).
+// The stencil is rule-agnostic: any LocalRule rides the same fast path,
+// monomorphized per rule (rule_stencil_sweep<R>); smp_sweep is the SMP
+// instantiation under its seed-era name.
 //
 // Parallel decomposition: rows are split into contiguous bands, one
 // ThreadPool task per band (writes are row-disjoint, so results are
@@ -44,56 +48,62 @@ namespace detail {
 /// rows of a serpentinus). Interior columns take the stencil kernel;
 /// columns 0 / n-1 (whose Left/Right wrap differs per topology) take the
 /// neighbor table.
+template <LocalRule R>
 inline std::size_t sweep_plain_row(const Color* src, Color* dst, const grid::VertexId* table,
                                    std::uint32_t i, std::uint32_t up_row, std::uint32_t down_row,
                                    std::uint32_t n, std::size_t jlo, std::size_t jhi) noexcept {
     const std::size_t base = static_cast<std::size_t>(i) * n;
     std::size_t changed = 0;
-    if (jlo == 0) changed += sweep_cell_table(src, dst, table, base);
+    if (jlo == 0) changed += sweep_cell_table<R>(src, dst, table, base);
     const std::size_t slo = std::max<std::size_t>(jlo, 1);
     const std::size_t shi = std::min<std::size_t>(jhi, n - 1);
     if (slo < shi) {
-        changed += sweep_row_interior(src + static_cast<std::size_t>(up_row) * n, src + base,
-                                      src + static_cast<std::size_t>(down_row) * n, dst + base,
-                                      slo, shi);
+        changed += sweep_row_interior<R>(src + static_cast<std::size_t>(up_row) * n, src + base,
+                                         src + static_cast<std::size_t>(down_row) * n, dst + base,
+                                         slo, shi);
     }
-    if (jhi == n) changed += sweep_cell_table(src, dst, table, base + n - 1);
+    if (jhi == n) changed += sweep_cell_table<R>(src, dst, table, base + n - 1);
     return changed;
 }
 
 /// Fully table-driven sweep of the column window [jlo, jhi) of row i; used
 /// for the serpentine-wrapped rows whose Up/Down neighbors are not whole
 /// rows.
+template <LocalRule R>
 inline std::size_t sweep_table_row(const Color* src, Color* dst, const grid::VertexId* table,
                                    std::uint32_t i, std::uint32_t n, std::size_t jlo,
                                    std::size_t jhi) noexcept {
     const std::size_t base = static_cast<std::size_t>(i) * n;
     std::size_t changed = 0;
-    for (std::size_t j = jlo; j < jhi; ++j) changed += sweep_cell_table(src, dst, table, base + j);
+    for (std::size_t j = jlo; j < jhi; ++j)
+        changed += sweep_cell_table<R>(src, dst, table, base + j);
     return changed;
 }
 
 /// Sweep the column window [jlo, jhi) of row i, dispatching on whether the
 /// row has whole-row Up/Down pointers. Shared by the full sweep below and
 /// the active-set engine (core/sim/active_engine.hpp).
+template <LocalRule R>
 inline std::size_t sweep_row_window(const grid::Torus& torus, const Color* src, Color* dst,
                                     std::uint32_t i, std::size_t jlo, std::size_t jhi) noexcept {
     const std::uint32_t m = torus.rows();
     const std::uint32_t n = torus.cols();
     const bool serpentine_wrap = torus.topology() == grid::Topology::TorusSerpentinus &&
                                  (i == 0 || i == m - 1);
-    if (serpentine_wrap) return sweep_table_row(src, dst, torus.table_data(), i, n, jlo, jhi);
-    return sweep_plain_row(src, dst, torus.table_data(), i, grid::dec_mod(i, m),
-                           grid::inc_mod(i, m), n, jlo, jhi);
+    if (serpentine_wrap) return sweep_table_row<R>(src, dst, torus.table_data(), i, n, jlo, jhi);
+    return sweep_plain_row<R>(src, dst, torus.table_data(), i, grid::dec_mod(i, m),
+                              grid::inc_mod(i, m), n, jlo, jhi);
 }
 
 } // namespace detail
 
-/// One synchronous SMP round: reads `src`, writes `dst` (both size() cells,
-/// row-major), returns the number of cells that changed color. Bit-identical
-/// to the table-driven reference sweep for every topology, pool, and grain.
-inline std::size_t smp_sweep(const grid::Torus& torus, const Color* src, Color* dst,
-                             ThreadPool* pool = nullptr, std::size_t grain = 1 << 14) {
+/// One synchronous round of `R`: reads `src`, writes `dst` (both size()
+/// cells, row-major), returns the number of cells that changed color.
+/// Bit-identical to the table-driven reference sweep of the same rule for
+/// every topology, pool, and grain.
+template <LocalRule R>
+std::size_t rule_stencil_sweep(const grid::Torus& torus, const Color* src, Color* dst,
+                               ThreadPool* pool = nullptr, std::size_t grain = 1 << 14) {
     const std::uint32_t m = torus.rows();
     const std::uint32_t n = torus.cols();
     const std::size_t row_grain = std::max<std::size_t>(1, (grain + n - 1) / n);
@@ -103,8 +113,8 @@ inline std::size_t smp_sweep(const grid::Torus& torus, const Color* src, Color* 
         for (std::size_t jlo = 0; jlo < n; jlo += kColPanel) {
             const std::size_t jhi = std::min<std::size_t>(n, jlo + kColPanel);
             for (std::size_t i = rlo; i < rhi; ++i) {
-                local += detail::sweep_row_window(torus, src, dst,
-                                                  static_cast<std::uint32_t>(i), jlo, jhi);
+                local += detail::sweep_row_window<R>(torus, src, dst,
+                                                     static_cast<std::uint32_t>(i), jlo, jhi);
             }
         }
         changed.fetch_add(local, std::memory_order_relaxed);
@@ -112,11 +122,17 @@ inline std::size_t smp_sweep(const grid::Torus& torus, const Color* src, Color* 
     return changed.load(std::memory_order_relaxed);
 }
 
+/// The SMP instantiation under its seed-era name.
+inline std::size_t smp_sweep(const grid::Torus& torus, const Color* src, Color* dst,
+                             ThreadPool* pool = nullptr, std::size_t grain = 1 << 14) {
+    return rule_stencil_sweep<SmpRule>(torus, src, dst, pool, grain);
+}
+
 /// Generic table-driven sweep for an arbitrary local rule (own color + 4
 /// neighbor slot colors -> new color). This is the seed engine's inner
-/// loop, kept as the fallback path of BasicSyncEngine for non-SMP rules
-/// and as the baseline the packed sweep is benchmarked and oracle-tested
-/// against.
+/// loop, kept as the Backend::Generic path (also reachable for a static
+/// rule R via RuleFnOf<R>) and as the baseline every packed instantiation
+/// is benchmarked and oracle-tested against.
 template <typename Rule>
 std::size_t rule_sweep(const grid::Torus& torus, const Color* src, Color* dst, const Rule& rule,
                        ThreadPool* pool = nullptr, std::size_t grain = 1 << 14) {

@@ -89,7 +89,10 @@ constexpr Color smp_update(Color own, const std::array<Color, grid::kDegree>& nb
     return smp_decide(own, nbr).color;
 }
 
-/// Gather the neighbor colors of vertex v from a field.
+/// Gather the neighbor colors of vertex v from a field. The ONE gather
+/// helper: the rule-generic sweeps (core/sim/kernels.hpp) gather inline
+/// per LocalRule instantiation, so this form exists for diagnostics,
+/// tests, and one-off probes - not for hot loops.
 inline std::array<Color, grid::kDegree> gather_neighbors(const grid::Torus& torus,
                                                          const ColorField& field,
                                                          grid::VertexId v) noexcept {

@@ -11,14 +11,18 @@
 // executed on a ThreadPool; results are bit-identical to the serial sweep
 // because writes are disjoint and reads never touch the write buffer.
 //
-// The engine is a template over the local rule so the SMP-Protocol and the
-// bi-color majority baselines of [15] (rules/majority.hpp) share one
-// driver. The sweep itself lives in core/sim/sweep.hpp: the SMP rule takes
-// the packed-state cache-blocked stencil fast path, any other rule takes
-// the generic table-driven sweep. Run-to-terminal drivers live in
-// core/run/ (runner.hpp / simulate.hpp); this header is just the stepping
-// substrate, exposed so examples and tests can single-step and inspect
-// intermediate states.
+// The engine is a template over a runtime rule functor so the SMP-Protocol
+// and the bi-color majority baselines of [15] (rules/majority.hpp) share
+// one driver. The sweep itself lives in core/sim/sweep.hpp: the SmpRuleFn
+// functor takes the packed-state cache-blocked stencil fast path, any
+// other functor takes the generic table-driven sweep. Compile-time
+// LocalRule types (core/sim/local_rule.hpp) get their own monomorphized
+// engines (PackedEngineT/ActiveEngineT via simulate_as); this functor
+// engine is the seed-style substrate they are oracle-tested against
+// (RuleFnOf<R> runs any LocalRule through it). Run-to-terminal drivers
+// live in core/run/ (runner.hpp / simulate.hpp); this header is just the
+// stepping substrate, exposed so examples and tests can single-step and
+// inspect intermediate states.
 #pragma once
 
 #include <array>

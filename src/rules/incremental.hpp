@@ -13,9 +13,17 @@
 // endpoints. The "stubborn" entities of [5] additionally require `inertia`
 // consecutive triggering rounds before moving.
 //
+// The decision depends only on the neighborhood (the palette width |C|
+// gates input validation, never the update), so the rule doubles as the
+// LocalRule `IncrementalStep` and rides the packed stencil sweep; the
+// runtime functor IncrementalRule is kept as the reference/oracle form.
+// NOT color-symmetric: the rule reads the ORDER of the palette, which
+// arbitrary color permutations do not preserve.
+//
 // This realizes the paper's X2 extension experiment; its dynamics differ
 // qualitatively from SMP (gradual fronts, longer convergence), which
-// bench_tab_ext_incremental quantifies.
+// bench_tab_ext_incremental quantifies - on the packed path since the
+// rule-generic engines landed.
 #pragma once
 
 #include <array>
@@ -25,7 +33,28 @@
 
 namespace dynamo::rules {
 
-/// Engine rule functor for the ordered "+1" protocol.
+/// The ordered "+1" protocol as a LocalRule (core/sim/local_rule.hpp).
+struct IncrementalStep {
+    static constexpr const char* kName = "incremental";
+    static constexpr Color kMinColors = 2;
+    static constexpr Color kMaxColors = 0;  // any ordered palette
+    static constexpr sim::TiePolicy kTie = sim::TiePolicy::PreferCurrent;
+    static constexpr bool kIrreversible = false;
+    static constexpr bool kColorSymmetric = false;  // order-sensitive
+
+    static constexpr Color next(Color own, Color a, Color b, Color c, Color d) noexcept {
+        // SmpRule::next returns `own` exactly when the SMP trigger does not
+        // fire (no unique plurality >= 2, or the plurality is own's color);
+        // otherwise move one step along the ordered scale toward it.
+        const Color target = sim::SmpRule::next(own, a, b, c, d);
+        const Color up = static_cast<Color>(own + 1);
+        const Color down = static_cast<Color>(own - 1);
+        return target == own ? own : (target > own ? up : down);
+    }
+};
+
+/// Engine rule functor for the ordered "+1" protocol: the runtime
+/// reference form (the oracle the LocalRule is tested against).
 struct IncrementalRule {
     Color num_colors = 4;
 
@@ -38,14 +67,15 @@ struct IncrementalRule {
     }
 };
 
-/// Simulate the incremental rule through the shared run API (core/run/).
+/// Simulate the incremental rule through the shared run API (core/run/),
+/// on the packed fast path.
 inline RunResult simulate_incremental(const grid::Torus& torus, const ColorField& initial,
                                       Color num_colors, const RunOptions& options = {}) {
     DYNAMO_REQUIRE(num_colors >= 2, "ordered rule needs at least two colors");
     for (const Color c : initial) {
         DYNAMO_REQUIRE(c >= 1 && c <= num_colors, "color outside the ordered scale");
     }
-    return simulate_rule(torus, initial, IncrementalRule{num_colors}, options);
+    return simulate_as<IncrementalStep>(torus, initial, options);
 }
 
 } // namespace dynamo::rules

@@ -15,7 +15,19 @@
 //     the fault-propagation semantics under which [15] proves its dynamo
 //     bounds.
 //
-// Colors follow core/transform.hpp: kWhite = 1, kBlack = 2.
+// Two forms per rule: MajorityRule is the runtime-configured reference
+// functor (the seed-era API, and the oracle the packed path is tested
+// against), and Majority<K, T, Irrev> is the same decision as a branchless
+// LocalRule (core/sim/local_rule.hpp) so each configuration rides the
+// packed stencil sweep. simulate_majority() dispatches a MajorityRule onto
+// its monomorphized LocalRule, which is what turned the bi-color benches
+// into packed-path consumers. tests/test_rules.cpp pins kernel equality on
+// every (own, neighborhood) combination.
+//
+// Colors follow core/transform.hpp: kWhite = 1, kBlack = 2. Fields holding
+// other colors are still well-defined (any non-black color counts as
+// white in the tallies, and "keep" keeps it), which both forms implement
+// identically.
 #pragma once
 
 #include <array>
@@ -26,9 +38,10 @@
 namespace dynamo::rules {
 
 enum class MajorityKind : std::uint8_t { Simple, Strong };
-enum class TiePolicy : std::uint8_t { PreferBlack, PreferCurrent };
+using TiePolicy = sim::TiePolicy;  ///< moved next to the LocalRule concept
 
-/// Engine rule functor for the bi-color majority protocols.
+/// Engine rule functor for the bi-color majority protocols: the
+/// runtime-configured reference form.
 struct MajorityRule {
     MajorityKind kind = MajorityKind::Simple;
     TiePolicy tie = TiePolicy::PreferBlack;
@@ -64,6 +77,47 @@ struct MajorityRule {
     }
 };
 
+/// The same decision as a branchless LocalRule, monomorphized per
+/// configuration: select-only over the black tally, so the stencil sweep
+/// vectorizes it like the SMP kernel.
+template <MajorityKind K, TiePolicy T, bool Irrev>
+struct Majority {
+    static constexpr const char* kName =
+        K == MajorityKind::Simple
+            ? (Irrev ? (T == TiePolicy::PreferBlack ? "irreversible-majority"
+                                                    : "irreversible-majority-prefer-current")
+                     : (T == TiePolicy::PreferBlack ? "majority-prefer-black"
+                                                    : "majority-prefer-current"))
+            : (Irrev ? "irreversible-strong-majority" : "strong-majority");
+    static constexpr Color kMinColors = 2;
+    static constexpr Color kMaxColors = 2;  // bi-color: fixed white/black roles
+    static constexpr sim::TiePolicy kTie = T;
+    static constexpr bool kIrreversible = Irrev;
+    static constexpr bool kColorSymmetric = false;  // black is named, not relabelable
+
+    static constexpr Color next(Color own, Color a, Color b, Color c, Color d) noexcept {
+        const std::uint8_t black = static_cast<std::uint8_t>((a == kBlack) + (b == kBlack) +
+                                                             (c == kBlack) + (d == kBlack));
+        Color out;
+        if constexpr (K == MajorityKind::Simple) {
+            const Color on_tie = T == TiePolicy::PreferBlack ? kBlack : own;
+            out = black > 2 ? kBlack : (black < 2 ? kWhite : on_tie);
+        } else {
+            out = black >= 3 ? kBlack : (black <= 1 ? kWhite : own);
+        }
+        if constexpr (Irrev) out = own == kBlack ? kBlack : out;
+        return out;
+    }
+};
+
+using MajorityPreferBlack = Majority<MajorityKind::Simple, TiePolicy::PreferBlack, false>;
+using MajorityPreferCurrent = Majority<MajorityKind::Simple, TiePolicy::PreferCurrent, false>;
+using StrongMajority = Majority<MajorityKind::Strong, TiePolicy::PreferBlack, false>;
+using IrreversibleMajority = Majority<MajorityKind::Simple, TiePolicy::PreferBlack, true>;
+using IrreversibleMajorityPreferCurrent =
+    Majority<MajorityKind::Simple, TiePolicy::PreferCurrent, true>;
+using IrreversibleStrongMajority = Majority<MajorityKind::Strong, TiePolicy::PreferBlack, true>;
+
 /// Convenience: the canonical rule variants named in the papers.
 inline constexpr MajorityRule reverse_simple_majority() noexcept {
     return MajorityRule{MajorityKind::Simple, TiePolicy::PreferBlack, true};
@@ -76,12 +130,24 @@ inline constexpr MajorityRule simple_majority_prefer_current() noexcept {
 }
 
 /// Simulate a bi-colored field under a majority rule, through the shared
-/// run API (core/run/): Backend::Auto routes non-SMP rules to the generic
-/// table-driven sweep, with the Runner's observers doing the bookkeeping.
+/// run API (core/run/). Every (kind, tie, irreversible) configuration maps
+/// onto its monomorphized LocalRule, so Backend::Auto takes the packed
+/// stencil fast path (bit-identical to the reference functor under
+/// Backend::Generic - the rule-parity oracle in tests/test_rules.cpp).
 inline RunResult simulate_majority(const grid::Torus& torus, const ColorField& initial,
                                    const MajorityRule& rule, const RunOptions& options = {}) {
     DYNAMO_REQUIRE(is_bicolored(initial), "majority baselines require a bi-colored field");
-    return simulate_rule(torus, initial, rule, options);
+    if (rule.kind == MajorityKind::Simple) {
+        if (rule.tie == TiePolicy::PreferBlack) {
+            return rule.irreversible ? simulate_as<IrreversibleMajority>(torus, initial, options)
+                                     : simulate_as<MajorityPreferBlack>(torus, initial, options);
+        }
+        return rule.irreversible
+                   ? simulate_as<IrreversibleMajorityPreferCurrent>(torus, initial, options)
+                   : simulate_as<MajorityPreferCurrent>(torus, initial, options);
+    }
+    return rule.irreversible ? simulate_as<IrreversibleStrongMajority>(torus, initial, options)
+                             : simulate_as<StrongMajority>(torus, initial, options);
 }
 
 } // namespace dynamo::rules

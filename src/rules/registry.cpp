@@ -1,0 +1,155 @@
+// dynamo/rules/registry.cpp
+//
+// Monomorphization site of the rule registry: each table row binds a
+// LocalRule type's kernel, sweeps, simulate_as and verifier instantiations
+// to its runtime name (see registry.hpp for the catalog).
+#include "rules/registry.hpp"
+
+#include <algorithm>
+
+#include "core/run/simulate.hpp"
+#include "core/sim/packed_engine.hpp"
+#include "core/transform.hpp"
+#include "rules/incremental.hpp"
+#include "rules/majority.hpp"
+#include "rules/threshold.hpp"
+
+namespace dynamo::rules {
+
+namespace {
+
+constexpr Color kSearchSeedColor = 1;
+
+/// Search-convention verifier over a reusable packed engine (see
+/// RuleVerifier in registry.hpp for the color-convention contract).
+template <sim::LocalRule R>
+class SearchVerifierT final : public RuleVerifier {
+  public:
+    explicit SearchVerifierT(const grid::Torus& torus)
+        : engine_(torus, ColorField(torus.size(), kSearchSeedColor)) {}
+
+    QuickVerdict verify(const ColorField& initial) override {
+        Color target = kSearchSeedColor;
+        const ColorField* field = &initial;
+        if constexpr (R::kMaxColors == 2) {
+            // Bi-color rule: the seeds are the black (faulty) faction.
+            mapped_.resize(initial.size());
+            for (std::size_t v = 0; v < initial.size(); ++v) {
+                mapped_[v] = initial[v] == kSearchSeedColor ? kBlack : kWhite;
+            }
+            target = kBlack;
+            field = &mapped_;
+        }
+        engine_.reset(*field);
+        RunOptions opts;
+        opts.target = target;
+        return classify_quick_verdict(run_to_terminal(engine_, opts), target);
+    }
+
+  private:
+    sim::PackedEngineT<R> engine_;
+    ColorField mapped_;
+};
+
+template <sim::LocalRule R>
+QuickVerdict quick_verify_entry(const grid::Torus& torus, const ColorField& initial, Color k) {
+    sim::PackedEngineT<R> engine(torus, initial);
+    RunOptions opts;
+    opts.target = k;
+    return classify_quick_verdict(run_to_terminal(engine, opts), k);
+}
+
+template <sim::LocalRule R>
+std::size_t generic_sweep_entry(const grid::Torus& torus, const Color* src, Color* dst,
+                                ThreadPool* pool, std::size_t grain) {
+    return sim::rule_sweep(torus, src, dst, sim::RuleFnOf<R>{}, pool, grain);
+}
+
+template <sim::LocalRule R>
+constexpr RuleInfo make_info(const char* summary) {
+    return RuleInfo{
+        R::kName,
+        summary,
+        R::kMinColors,
+        R::kMaxColors,
+        R::kTie,
+        R::kIrreversible,
+        R::kColorSymmetric,
+        &R::next,
+        &sim::rule_stencil_sweep<R>,
+        &generic_sweep_entry<R>,
+        +[](const grid::Torus& t, const ColorField& f, const RunOptions& o) {
+            return simulate_as<R>(t, f, o);
+        },
+        &quick_verify_entry<R>,
+        +[](const grid::Torus& t) {
+            return std::unique_ptr<RuleVerifier>(new SearchVerifierT<R>(t));
+        },
+    };
+}
+
+const RuleInfo kRules[] = {
+    make_info<sim::SmpRule>("the paper's SMP protocol: adopt the unique neighbor "
+                            "plurality of multiplicity >= 2, 2+2 ties keep"),
+    make_info<MajorityPreferBlack>("bi-color simple majority of [15], 2-2 ties recolor "
+                                   "to black"),
+    make_info<MajorityPreferCurrent>("bi-color simple majority, 2-2 ties keep the "
+                                     "current color (Peleg [26])"),
+    make_info<StrongMajority>("bi-color strong majority: >= 3 of 4 neighbors"),
+    make_info<IrreversibleMajority>("[15]'s reverse simple majority: black absorbing, "
+                                    "ties to black - the monotone fault semantics"),
+    make_info<IrreversibleMajorityPreferCurrent>("reverse simple majority with "
+                                                 "Prefer-Current ties"),
+    make_info<IrreversibleStrongMajority>("[15]'s reverse strong majority: black "
+                                          "absorbing, >= 3 of 4 to flip"),
+    make_info<Threshold<1>>("irreversible 1-threshold (contagion): any black neighbor "
+                            "infects"),
+    make_info<Threshold<2>>("Berger-style irreversible 2-threshold: half the degree "
+                            "suffices"),
+    make_info<Threshold<3>>("irreversible 3-threshold (strong-majority flip "
+                            "requirement)"),
+    make_info<Threshold<4>>("irreversible 4-threshold (unanimity): flip only when "
+                            "surrounded"),
+    make_info<IncrementalStep>("the ordered '+1' rule of [4]/[5]: step one color "
+                               "toward the SMP trigger"),
+};
+
+} // namespace
+
+const RuleInfo* find_rule(std::string_view name) {
+    for (const RuleInfo& rule : kRules) {
+        if (name == rule.name) return &rule;
+    }
+    return nullptr;
+}
+
+const RuleInfo& rule_or_throw(const std::string& name) {
+    const RuleInfo* rule = find_rule(name);
+    DYNAMO_REQUIRE(rule != nullptr, "unknown rule '" + name + "'; known: " + known_rule_names());
+    return *rule;
+}
+
+const RuleInfo& smp_rule() { return kRules[0]; }
+
+const std::vector<const RuleInfo*>& all_rules() {
+    static const std::vector<const RuleInfo*> sorted = [] {
+        std::vector<const RuleInfo*> out;
+        for (const RuleInfo& rule : kRules) out.push_back(&rule);
+        std::sort(out.begin(), out.end(), [](const RuleInfo* a, const RuleInfo* b) {
+            return std::string_view(a->name) < std::string_view(b->name);
+        });
+        return out;
+    }();
+    return sorted;
+}
+
+std::string known_rule_names() {
+    std::string names;
+    for (const RuleInfo* rule : all_rules()) {
+        if (!names.empty()) names += ", ";
+        names += rule->name;
+    }
+    return names;
+}
+
+} // namespace dynamo::rules

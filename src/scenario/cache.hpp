@@ -29,7 +29,10 @@ namespace dynamo::scenario {
 
 /// Global cache epoch. Bump on changes that invalidate every cached
 /// result, e.g. simulation-semantics or RNG-substream changes.
-inline constexpr int kCodeEpoch = 1;
+/// Epoch 2: the rule-generic engines (LocalRule concept, `rule=`
+/// parameters) - trajectories are unchanged for SMP, but points may now
+/// carry rule identity, so pre-rule entries are orphaned wholesale.
+inline constexpr int kCodeEpoch = 2;
 
 struct CacheKey {
     std::string scenario;

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/run/batch.hpp"  // substream_seed
+#include "rules/registry.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
 
@@ -55,6 +56,10 @@ void check_binding(const std::string& where, const Scenario& s, const std::strin
     // The same strict validator `dynamo run` uses: complete parse, no
     // trailing garbage ("1.5" and "1e3" are not Ints).
     if (!value_parses_as(spec->type, lexeme)) {
+        if (spec->type == ParamType::Rule) {
+            fail(where, "\"" + key + "\": unknown rule '" + lexeme +
+                            "'; known: " + rules::known_rule_names());
+        }
         fail(where, "\"" + key + "\" expects " + std::string(to_string(spec->type)) +
                         ", got '" + lexeme + "'");
     }

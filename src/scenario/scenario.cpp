@@ -8,6 +8,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "rules/registry.hpp"
 #include "util/assert.hpp"
 #include "util/table.hpp"
 
@@ -58,6 +59,7 @@ bool value_parses_as(ParamType type, const std::string& value) {
         double v = 0;
         return static_cast<bool>(is >> v) && is.eof();
     }
+    if (type == ParamType::Rule) return rules::find_rule(value) != nullptr;
     return true;  // String accepts anything; Flag values are ignored
 }
 
@@ -69,6 +71,7 @@ const char* to_string(ParamType t) noexcept {
         case ParamType::String: return "string";
         case ParamType::Flag: return "flag";
         case ParamType::OptValue: return "flag[=value]";
+        case ParamType::Rule: return "rule";
     }
     return "?";
 }
@@ -136,6 +139,10 @@ std::string validate_args(const Scenario& s, const CliArgs& args, bool strict) {
             return msg;
         }
         if (spec->type != ParamType::Flag && !value_parses_as(spec->type, value)) {
+            if (spec->type == ParamType::Rule) {
+                return "--" + key + ": unknown rule '" + value +
+                       "'; known: " + rules::known_rule_names();
+            }
             return "--" + key + " expects " + std::string(to_string(spec->type)) + ", got '" +
                    value + "'";
         }

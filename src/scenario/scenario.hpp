@@ -44,6 +44,12 @@ enum class ParamType {
     /// (e.g. --json-report[=FILE]). Parses under the greedy fallback rule
     /// of util/cli.hpp, exactly like the seed-era binaries did.
     OptValue,
+    /// A registered local-rule name (rules/registry.hpp): `--rule=smp`,
+    /// `--rule=majority-prefer-black`, ... Validation resolves the value
+    /// against the registry, so an unknown rule is rejected at parse time
+    /// - by `dynamo run` and by manifest binding checks - with a message
+    /// listing the known names.
+    Rule,
 };
 
 const char* to_string(ParamType t) noexcept;

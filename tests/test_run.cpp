@@ -16,6 +16,7 @@
 #include "graph/generators.hpp"
 #include "graph/graph_engine.hpp"
 #include "io/frame_dumper.hpp"
+#include "rules/registry.hpp"
 #include "util/rng.hpp"
 
 namespace dynamo {
@@ -82,6 +83,53 @@ TEST(RunBackends, AllBackendsProduceBitIdenticalResults) {
                 expect_results_identical(reference, result,
                                          std::string(to_string(topo)) + "/" + name +
                                              "/backend=" + std::to_string(int(backend)));
+            }
+        }
+    }
+}
+
+TEST(RunBackends, EveryRegisteredRuleIsBitIdenticalAcrossBackends) {
+    // The rule-generic acceptance oracle: for EVERY registered rule
+    // (rules/registry.hpp) and every topology, Backend::Generic (the seed
+    // table-driven sweep of the rule) must match Packed, Active, and Auto
+    // on every field of the RunResult - dynamos, stalls, oscillations,
+    // random fields. This is the engine-level half of the rule-parity net
+    // (tests/test_rules.cpp pins the kernels and sweeps).
+    Xoshiro256 rng(0x51e);
+    for (const rules::RuleInfo* rule : rules::all_rules()) {
+        const Color palette = rule->bicolor() ? 2 : 4;
+        for (const Topology topo : kTopologies) {
+            Torus t(topo, 7, 6);
+            std::vector<std::pair<std::string, ColorField>> scenarios;
+            scenarios.emplace_back("checkerboard", checkerboard(t, 1, 2));
+            scenarios.emplace_back("mono", ColorField(t.size(), palette));
+            ColorField lone(t.size(), 1);
+            lone[t.index(3, 3)] = 2;
+            scenarios.emplace_back("lone-black", lone);
+            for (int trial = 0; trial < 3; ++trial) {
+                scenarios.emplace_back("random" + std::to_string(trial),
+                                       random_field(t, palette, rng));
+            }
+
+            for (const auto& [name, field] : scenarios) {
+                RunOptions opts;
+                opts.target = rule->bicolor() ? Color(2) : Color(1);
+                opts.backend = Backend::Generic;
+                const RunResult reference = rule->run(t, field, opts);
+                for (const Backend backend : {Backend::Packed, Backend::Active, Backend::Auto}) {
+                    opts.backend = backend;
+                    const RunResult result = rule->run(t, field, opts);
+                    expect_results_identical(reference, result,
+                                             std::string(rule->name) + "/" + to_string(topo) +
+                                                 "/" + name + "/backend=" +
+                                                 std::to_string(int(backend)));
+                }
+                // Irreversible rules are monotone by construction on every
+                // run that the tracker observed.
+                if (rule->irreversible) {
+                    EXPECT_TRUE(reference.monotone)
+                        << rule->name << "/" << to_string(topo) << "/" << name;
+                }
             }
         }
     }

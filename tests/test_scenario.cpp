@@ -8,6 +8,7 @@
 // every bench, every example, the campaign-grade points - is under test.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -16,6 +17,7 @@
 #include "scenario/manifest.hpp"
 #include "scenario/scenario.hpp"
 #include "core/run/batch.hpp"
+#include "rules/registry.hpp"
 #include "util/json.hpp"
 
 namespace dynamo::scenario {
@@ -372,6 +374,71 @@ TEST(Campaign, FailedPointsAreReportedAndNeverCached) {
     const CampaignOutcome retry = run_campaign(manifest, options);
     EXPECT_EQ(retry.computed, 1u);
     EXPECT_EQ(retry.cached, 0u);
+}
+
+TEST(Cache, RuleIdentityKeysNeverCollide) {
+    // Satellite of the rule-generic PR: two campaigns differing ONLY in
+    // `rule=` must occupy disjoint cache entries - a majority result must
+    // never satisfy an SMP lookup.
+    const ScratchDir dir("cache_rule");
+    const auto manifest_for = [](const std::string& rule) {
+        return parse_manifest(
+            R"({"name": "rules", "scenario": "mc_density_point",
+                "fixed": {"m": 6, "n": 6, "colors": 2, "trials": 4, "rule": ")" +
+                rule + R"("}})",
+            "test-manifest");
+    };
+    CampaignOptions options;
+    options.cache_dir = dir.path();
+
+    const CampaignOutcome smp = run_campaign(manifest_for("smp"), options);
+    EXPECT_EQ(smp.computed, 1u);
+    // Same grid, different rule: a fresh computation, never a cache hit.
+    const CampaignOutcome majority =
+        run_campaign(manifest_for("irreversible-majority"), options);
+    EXPECT_EQ(majority.computed, 1u);
+    EXPECT_EQ(majority.cached, 0u);
+    EXPECT_NE(smp.points[0].result.metrics.at("p_k_mono"),
+              majority.points[0].result.metrics.at("p_k_mono"))
+        << "the two rules genuinely diverge on this workload";
+    // Both entries coexist; re-running either is now a pure hit.
+    EXPECT_EQ(run_campaign(manifest_for("smp"), options).cached, 1u);
+    EXPECT_EQ(run_campaign(manifest_for("irreversible-majority"), options).cached, 1u);
+
+    // Key-level: the binding difference lands in the hash.
+    const CacheKey a{"mc_density_point", 2, {{"m", "6"}, {"rule", "smp"}}};
+    CacheKey b = a;
+    b.params["rule"] = "threshold-2";
+    EXPECT_NE(cache_hash(a), cache_hash(b));
+    EXPECT_NE(canonical_key_string(a), canonical_key_string(b));
+}
+
+TEST(Registry, RuleParamsValidateAgainstTheRuleRegistry) {
+    // ParamType::Rule resolves values against rules/registry.hpp at parse
+    // time, on both surfaces: `dynamo run` arg validation and manifest
+    // binding checks.
+    const Scenario* s = find("mc_density_point");
+    ASSERT_NE(s, nullptr);
+    const auto rule_spec = std::find_if(s->params.begin(), s->params.end(),
+                                        [](const ParamSpec& p) { return p.name == "rule"; });
+    ASSERT_NE(rule_spec, s->params.end());
+    EXPECT_EQ(rule_spec->type, ParamType::Rule);
+
+    for (const rules::RuleInfo* rule : rules::all_rules()) {
+        EXPECT_TRUE(value_parses_as(ParamType::Rule, rule->name)) << rule->name;
+    }
+    EXPECT_FALSE(value_parses_as(ParamType::Rule, "no-such-rule"));
+
+    const CliArgs bad(std::map<std::string, std::string>{{"rule", "no-such-rule"}});
+    const std::string err = validate_args(*s, bad, /*strict=*/true);
+    EXPECT_NE(err.find("unknown rule"), std::string::npos) << err;
+    EXPECT_NE(err.find("majority-prefer-black"), std::string::npos)
+        << "the error must list the known rules: " << err;
+
+    EXPECT_THROW(parse_manifest(R"({"name": "x", "scenario": "mc_density_point",
+                                    "fixed": {"rule": "no-such-rule"}})",
+                                "test-manifest"),
+                 std::invalid_argument);
 }
 
 TEST(Json, RoundTripAndDeterministicDump) {
