@@ -4,11 +4,15 @@
 // thread-pool sweeps, and the cost of trace bookkeeping.
 //
 // Besides the google-benchmark suite, `--json-report FILE` runs a focused
-// packed-vs-seed comparison (with a lockstep bit-identity check) plus a
-// Monte-Carlo batch-throughput comparison (seed-era serial trial loop vs
-// the pooled BatchRunner on a 64x64 mesh) and writes a machine-readable
-// BENCH_*.json record; CI runs it on a small grid every push and the
-// committed BENCH_perf_engine.json captures the committed speedups.
+// packed-vs-seed comparison (with a lockstep bit-identity check), a
+// per-rule packed-vs-generic section, a bit-plane-vs-packed section
+// (word-parallel sweep cells/sec per bitplane-capable rule, plus an
+// engine-level Backend::BitPlane vs Backend::Packed run identity check)
+// and a Monte-Carlo batch-throughput comparison (seed-era serial trial
+// loop vs the pooled BatchRunner on a 64x64 mesh), then writes a
+// machine-readable BENCH_*.json record; CI runs it on a small grid every
+// push and the committed BENCH_perf_engine.json captures the committed
+// speedups.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -293,6 +297,22 @@ bool rule_sweeps_identical(const rules::RuleInfo& rule, const grid::Torus& torus
     return true;
 }
 
+/// Engine-level bit-identity of Backend::BitPlane vs Backend::Packed for
+/// one registered rule: full rule.run trajectories (termination, rounds,
+/// final field) must coincide.
+bool bitplane_runs_identical(const rules::RuleInfo& rule, const grid::Torus& torus,
+                             const ColorField& field, std::uint32_t max_rounds) {
+    RunOptions packed_opts;
+    packed_opts.backend = Backend::Packed;
+    packed_opts.max_rounds = max_rounds;
+    RunOptions bitplane_opts = packed_opts;
+    bitplane_opts.backend = Backend::BitPlane;
+    const RunResult a = rule.run(torus, field, packed_opts);
+    const RunResult b = rule.run(torus, field, bitplane_opts);
+    return a.termination == b.termination && a.rounds == b.rounds &&
+           a.final_colors == b.final_colors;
+}
+
 int run_json_report(const CliArgs& args) {
     const auto side = static_cast<std::uint32_t>(args.get_int("side", 1024));
     const int rounds = static_cast<int>(args.get_int("rounds", 16));
@@ -410,7 +430,63 @@ int run_json_report(const CliArgs& args) {
                       << "\n";
         }
     }
+    // Bit-plane section: every bitplane-capable rule's word-parallel sweep
+    // vs its packed byte sweep on the side x side mesh (cells/second via
+    // the registry's bitplane_cells_per_sec entry), plus an engine-level
+    // rule.run bit-identity check (Backend::BitPlane vs Backend::Packed).
+    // CI gates the bi-color majority at >= kBitplaneTargetSpeedup x and
+    // ALL capable rules at bit-identical.
+    constexpr double kBitplaneTargetSpeedup = 3.0;
+    double bitplane_majority_speedup = 0.0;
+    bool bitplane_all_identical = true;
     out << "  },\n"
+        << "  \"bitplane_target_speedup\": " << kBitplaneTargetSpeedup << ",\n"
+        << "  \"bitplane\": {\n";
+    {
+        const auto& all = dynamo::rules::all_rules();
+        std::vector<const dynamo::rules::RuleInfo*> capable;
+        for (const auto* rule : all) {
+            if (rule->bitplane && rule->bitplane_cells_per_sec != nullptr) {
+                capable.push_back(rule);
+            }
+        }
+        for (std::size_t i = 0; i < capable.size(); ++i) {
+            const dynamo::rules::RuleInfo& rule = *capable[i];
+            const Color palette = rule.bicolor() ? 2 : 4;
+            const ColorField field = random_field(rule_torus.size(), palette, 42);
+            const double packed_cps =
+                measure_rule_sweep(rule.sweep, rule_torus, field, warmup, rounds);
+            const double bitplane_cps =
+                rule.bitplane_cells_per_sec(rule_torus, field, warmup, rounds);
+            const double speedup = bitplane_cps / packed_cps;
+            // Identity on a smaller torus: rule.run walks full trajectories.
+            const grid::Torus id_torus(grid::Topology::ToroidalMesh, 96, 96);
+            const bool identical = bitplane_runs_identical(
+                rule, id_torus, random_field(id_torus.size(), palette, 43), 64);
+            bitplane_all_identical = bitplane_all_identical && identical;
+            if (std::string(rule.name) == "majority-prefer-black") {
+                bitplane_majority_speedup = speedup;
+            }
+            out << "    \"" << rule.name << "\": {\"packed_cells_per_sec\": " << packed_cps
+                << ", \"bitplane_cells_per_sec\": " << bitplane_cps
+                << ", \"speedup\": " << speedup
+                << ", \"planes\": " << (rule.bicolor() ? 1 : 3)
+                << ", \"bit_identical\": " << (identical ? "true" : "false") << "}"
+                << (i + 1 == capable.size() ? "" : ",") << "\n";
+            std::cerr << "bitplane " << rule.name << ": packed " << packed_cps / 1e6
+                      << " Mcells/s, bitplane " << bitplane_cps / 1e6
+                      << " Mcells/s, speedup " << speedup
+                      << (identical ? "" : " [RUN MISMATCH]") << "\n";
+        }
+    }
+    const bool bitplane_meets_target =
+        bitplane_all_identical && bitplane_majority_speedup >= kBitplaneTargetSpeedup;
+    out << "  },\n"
+        << "  \"bitplane_majority_speedup\": " << bitplane_majority_speedup << ",\n"
+        << "  \"bitplane_all_bit_identical\": " << (bitplane_all_identical ? "true" : "false")
+        << ",\n"
+        << "  \"bitplane_meets_target\": " << (bitplane_meets_target ? "true" : "false")
+        << ",\n"
         << "  \"montecarlo\": {\"side\": 64, \"trials\": " << mc_trials
         << ", \"density\": " << kMcDensity << ", \"target_speedup\": " << kMcTargetSpeedup
         << ",\n"

@@ -50,6 +50,12 @@ int run_mc_density_point(Context& ctx) {
     const double density = ctx.args.get_double("density", 0.3);
     const auto trials = static_cast<std::size_t>(ctx.args.get_int("trials", 120));
     const std::uint64_t seed = ctx.args.get_uint64("seed", 53261);
+    const Backend backend =
+        backend_from_name(ctx.args.get_string("backend", "auto")).value();
+    // Fail before any trial runs when this rule x backend combination is
+    // unsupported (the name itself was validated by the schema).
+    const std::string backend_error = rules::backend_support_error(backend, rule);
+    DYNAMO_REQUIRE(backend_error.empty(), backend_error);
 
     // The seeded faction: color 1 under color-symmetric rules, the black
     // (faulty) faction under the bi-color baselines.
@@ -57,8 +63,9 @@ int run_mc_density_point(Context& ctx) {
     const grid::Torus torus(topo, m, n);
     // Serial inside the point: campaigns parallelize ACROSS points, and
     // run_density_point is bit-identical serial vs pooled anyway.
-    const analysis::DensityPoint p =
-        analysis::run_density_point(torus, k, density, colors, trials, seed, nullptr, &rule);
+    const analysis::DensityPoint p = analysis::run_density_point(torus, k, density, colors,
+                                                                 trials, seed, nullptr, &rule,
+                                                                 backend);
 
     ConsoleTable table({"density", "P(k-mono)", "other mono", "cycles", "fixed pts",
                         "mean rounds|mono", "mean final k-share"});
@@ -92,6 +99,8 @@ int run_mc_density_point(Context& ctx) {
         {"m", ParamType::Int, "12", "6", "torus rows"},
         {"n", ParamType::Int, "12", "6", "torus columns"},
         {"rule", ParamType::Rule, "smp", "", "local rule the trials run under"},
+        {"backend", ParamType::Backend, "auto", "",
+         "engine backend each trial steps (identical outcomes across backends)"},
         {"colors", ParamType::Int, "4", "3", "palette size |C| (bi-color rules default to 2)"},
         {"density", ParamType::Double, "0.3", "", "per-vertex probability of the seeded color"},
         {"trials", ParamType::Int, "120", "6", "random colorings per point"},
@@ -171,20 +180,24 @@ int run_perf_smp_sweep(Context& ctx) {
     const auto m = static_cast<std::uint32_t>(ctx.args.get_int("m", 256));
     const auto n = static_cast<std::uint32_t>(ctx.args.get_int("n", 256));
     const rules::RuleInfo& rule = rules::rule_or_throw(ctx.args.get_string("rule", "smp"));
+    const Backend backend =
+        backend_from_name(ctx.args.get_string("backend", "packed")).value();
+    const std::string backend_error = rules::backend_support_error(backend, rule);
+    DYNAMO_REQUIRE(backend_error.empty(), backend_error);
 
     const grid::Torus torus(topo, m, n);
     const Configuration cfg = build_minimum_dynamo(torus);
     // Bi-color rules run the phi-collapse of the same configuration (the
     // seeds become the black faction, Propositions 1-2 style); the run is
     // a long flood under the simple majorities, which is the useful
-    // packed-vs-generic workload.
+    // fast-path-vs-generic workload.
     const ColorField field = rule.bicolor() ? phi_collapse(cfg.field, cfg.k) : cfg.field;
 
-    RunOptions packed_opts;
-    packed_opts.backend = Backend::Packed;
-    Stopwatch packed_watch;
-    const RunResult packed = rule.run(torus, field, packed_opts);
-    const double packed_ms = packed_watch.millis();
+    RunOptions fast_opts;
+    fast_opts.backend = backend;
+    Stopwatch fast_watch;
+    const RunResult fast = rule.run(torus, field, fast_opts);
+    const double fast_ms = fast_watch.millis();
 
     RunOptions generic_opts;
     generic_opts.backend = Backend::Generic;
@@ -192,26 +205,26 @@ int run_perf_smp_sweep(Context& ctx) {
     const RunResult generic = rule.run(torus, field, generic_opts);
     const double generic_ms = generic_watch.millis();
 
-    const bool identical = packed.rounds == generic.rounds &&
-                           packed.termination == generic.termination &&
-                           packed.final_colors == generic.final_colors;
-    const double cells_rounds = static_cast<double>(torus.size()) * packed.rounds;
+    const bool identical = fast.rounds == generic.rounds &&
+                           fast.termination == generic.termination &&
+                           fast.final_colors == generic.final_colors;
+    const double cells_rounds = static_cast<double>(torus.size()) * fast.rounds;
     ConsoleTable table({"engine", "rounds", "ms", "cell-rounds/s"});
-    table.add_row("packed", packed.rounds, packed_ms,
-                  packed_ms > 0 ? cells_rounds / (packed_ms / 1e3) : 0.0);
+    table.add_row(backend_name(backend), fast.rounds, fast_ms,
+                  fast_ms > 0 ? cells_rounds / (fast_ms / 1e3) : 0.0);
     table.add_row("generic", generic.rounds, generic_ms,
                   generic_ms > 0 ? cells_rounds / (generic_ms / 1e3) : 0.0);
-    ctx.out << "packed vs generic full run of the minimum dynamo on the " << to_string(topo)
-            << " " << m << "x" << n << " under rule " << rule.name << "\n";
+    ctx.out << backend_name(backend) << " vs generic full run of the minimum dynamo on the "
+            << to_string(topo) << " " << m << "x" << n << " under rule " << rule.name << "\n";
     table.print(ctx.out);
     ctx.out << "trajectories " << (identical ? "bit-identical" : "DIVERGED") << "\n";
-    ctx.out << "speedup (generic/packed): " << fmt(packed_ms > 0 ? generic_ms / packed_ms : 0.0)
-            << "x\n";
+    ctx.out << "speedup (generic/" << backend_name(backend)
+            << "): " << fmt(fast_ms > 0 ? generic_ms / fast_ms : 0.0) << "x\n";
 
     // Wall-clock numbers stay in the report text: metrics feed the result
     // cache and campaign reports, which promise to be pure functions of
     // the parameters (serial == pooled, warm == cold).
-    ctx.metrics["rounds"] = std::to_string(packed.rounds);
+    ctx.metrics["rounds"] = std::to_string(fast.rounds);
     ctx.metrics["identical"] = identical ? "true" : "false";
     return identical ? 0 : 1;
 }
@@ -219,7 +232,7 @@ int run_perf_smp_sweep(Context& ctx) {
 [[maybe_unused]] const bool reg_perf = scenario::register_scenario({
     "perf_smp_sweep",
     "perf",
-    "Packed vs table-driven engine on one full dynamo run: wall time, "
+    "Fast-path vs table-driven engine on one full dynamo run: wall time, "
     "throughput, and a trajectory-identity check",
     0,
     {
@@ -227,7 +240,9 @@ int run_perf_smp_sweep(Context& ctx) {
         {"m", ParamType::Int, "256", "48", "torus rows"},
         {"n", ParamType::Int, "256", "48", "torus columns"},
         {"rule", ParamType::Rule, "smp", "majority-prefer-black",
-         "local rule to race packed vs generic"},
+         "local rule to race against the generic baseline"},
+        {"backend", ParamType::Backend, "packed", "",
+         "fast-path engine to race (packed | active | bitplane | auto)"},
     },
     &run_perf_smp_sweep,
 });

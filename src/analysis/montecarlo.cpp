@@ -42,10 +42,12 @@ struct TrialOutcome {
 
 DensityPoint run_density_point(const grid::Torus& torus, Color k, double density,
                                Color num_colors, std::size_t trials, std::uint64_t seed,
-                               ThreadPool* pool, const rules::RuleInfo* rule) {
+                               ThreadPool* pool, const rules::RuleInfo* rule, Backend backend) {
     if (rule != nullptr) {
         DYNAMO_REQUIRE(rule->admits_palette(num_colors),
                        std::string("palette size inadmissible for rule '") + rule->name + "'");
+        const std::string error = rules::backend_support_error(backend, *rule);
+        DYNAMO_REQUIRE(error.empty(), error);
     }
     DensityPoint point;
     point.density = density;
@@ -57,8 +59,10 @@ DensityPoint run_density_point(const grid::Torus& torus, Color k, double density
         const ColorField initial = random_coloring(torus.size(), k, num_colors, density, rng);
         // Backend::Auto: each (serial) trial takes the active-set fast
         // path; parallelism is across trials, not within the sweep.
+        RunOptions opts;
+        opts.backend = backend;
         const RunResult result =
-            rule != nullptr ? rule->run(torus, initial, RunOptions{}) : simulate(torus, initial);
+            rule != nullptr ? rule->run(torus, initial, opts) : simulate(torus, initial, opts);
         outcomes[t] = {result.termination, result.rounds, result.mono,
                        count_color(result.final_colors, k)};
     });
@@ -92,12 +96,12 @@ std::vector<DensityPoint> run_density_sweep(const grid::Torus& torus, Color k,
                                             const std::vector<double>& densities,
                                             Color num_colors, std::size_t trials,
                                             std::uint64_t seed, ThreadPool* pool,
-                                            const rules::RuleInfo* rule) {
+                                            const rules::RuleInfo* rule, Backend backend) {
     std::vector<DensityPoint> points;
     points.reserve(densities.size());
     for (std::size_t i = 0; i < densities.size(); ++i) {
         points.push_back(run_density_point(torus, k, densities[i], num_colors, trials,
-                                           substream_seed(seed, i), pool, rule));
+                                           substream_seed(seed, i), pool, rule, backend));
     }
     return points;
 }

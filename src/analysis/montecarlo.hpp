@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/coloring.hpp"
+#include "core/run/backend.hpp"
 #include "grid/torus.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -51,12 +52,18 @@ ColorField random_coloring(std::size_t size, Color k, Color num_colors, double d
 /// t seeded with substream_seed(seed, t), executed on `pool` when given
 /// (bit-identical results either way). `rule` selects the local rule the
 /// trials run under (rules/registry.hpp); nullptr = the SMP protocol, the
-/// seed-era behaviour bit for bit. The caller owns the color conventions:
-/// k is the flooding target under that rule (kBlack for bi-color rules).
+/// seed-era behaviour bit for bit. `backend` selects the engine each
+/// trial steps (core/run/backend.hpp) - all backends produce identical
+/// outcomes, so the parameter exists for engine cross-validation and
+/// perf experiments; validate rule x backend support with
+/// rules::backend_support_error before calling. The caller owns the color
+/// conventions: k is the flooding target under that rule (kBlack for
+/// bi-color rules).
 DensityPoint run_density_point(const grid::Torus& torus, Color k, double density,
                                Color num_colors, std::size_t trials, std::uint64_t seed,
                                ThreadPool* pool = nullptr,
-                               const rules::RuleInfo* rule = nullptr);
+                               const rules::RuleInfo* rule = nullptr,
+                               Backend backend = Backend::Auto);
 
 /// Full sweep over a density grid; density i uses the substream
 /// substream_seed(seed, i) so points are independent of each other too.
@@ -64,6 +71,7 @@ std::vector<DensityPoint> run_density_sweep(const grid::Torus& torus, Color k,
                                             const std::vector<double>& densities,
                                             Color num_colors, std::size_t trials,
                                             std::uint64_t seed, ThreadPool* pool = nullptr,
-                                            const rules::RuleInfo* rule = nullptr);
+                                            const rules::RuleInfo* rule = nullptr,
+                                            Backend backend = Backend::Auto);
 
 } // namespace dynamo::analysis

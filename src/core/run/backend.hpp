@@ -1,0 +1,56 @@
+// dynamo/core/run/backend.hpp
+//
+// The Backend enum and its name mapping: which stepping substrate
+// simulate()/simulate_as<R>()/simulate_rule() route a run through. PR 6
+// promoted this from a bare enum inside runner.hpp to a first-class API
+// surface: runtime layers (the `dynamo` CLI's `backend=` parameters,
+// campaign manifests) resolve names through backend_from_name() and get
+// their error lists from known_backend_names(), exactly like rule names
+// resolve through rules/registry.hpp. Capability queries - can THIS
+// backend step THIS rule? - live next to the rule metadata
+// (rules::backend_supports in rules/registry.hpp); the shared message
+// builder below keeps the compile-time refusal in simulate_as<R>() and
+// the runtime refusals byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dynamo {
+
+/// Which stepping substrate simulate() routes a run through.
+enum class Backend : std::uint8_t {
+    Auto,      ///< the fastest correct substrate: the (pool-capable)
+               ///< active-set engine for LocalRules, Generic for runtime
+               ///< rule functors
+    Packed,    ///< full-sweep engine (packed byte stencil fast path)
+    Active,    ///< active-set engine: re-evaluates dirty spans only,
+               ///< O(frontier) rounds; pooled phase-1 when given a pool
+    Generic,   ///< seed-style table-driven sweep, any rule functor
+    BitPlane,  ///< bit-plane word-parallel engine (core/sim/
+               ///< bitplane_engine.hpp): 64 cells per limb per plane,
+               ///< rules with a word-parallel kernel only
+};
+
+/// Canonical lowercase name of a backend ("auto", "packed", "active",
+/// "generic", "bitplane") - the CLI/manifest `backend=` vocabulary.
+const char* backend_name(Backend b) noexcept;
+
+/// Resolve a `backend=` value; nullopt if unknown.
+std::optional<Backend> backend_from_name(std::string_view name) noexcept;
+
+/// "active, auto, bitplane, generic, packed" - for error messages, in the
+/// same sorted style as rules::known_rule_names().
+std::string known_backend_names();
+
+/// The one actionable message for an unsupported rule x backend
+/// combination. Every refusal site (simulate_as<R> dispatch, the registry
+/// capability query, scenario validation) formats through this builder so
+/// the user sees the same text everywhere. `supported` names the backends
+/// that DO step the rule (e.g. "active, auto, generic, packed").
+std::string backend_unsupported_message(Backend backend, std::string_view rule_name,
+                                        std::string_view supported);
+
+} // namespace dynamo

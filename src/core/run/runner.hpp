@@ -30,20 +30,12 @@
 #include <vector>
 
 #include "core/coloring.hpp"
+#include "core/run/backend.hpp"
 #include "core/run/observer.hpp"
 #include "core/run/result.hpp"
 #include "util/parallel.hpp"
 
 namespace dynamo {
-
-/// Which stepping substrate simulate() routes a run through.
-enum class Backend : std::uint8_t {
-    Auto,     ///< Active for serial SMP runs, Packed for pooled SMP runs,
-              ///< Generic for any other rule
-    Packed,   ///< full-sweep engine (packed stencil fast path for SMP)
-    Active,   ///< active-set engine (SMP only; re-evaluates dirty spans)
-    Generic,  ///< seed-style table-driven sweep, any rule
-};
 
 struct RunOptions {
     /// Hard cap on rounds; 0 selects an automatic cap of 4*|V| + 64 (far

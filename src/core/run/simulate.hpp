@@ -6,21 +6,24 @@
 // Backend-selected engine and the shared run_to_terminal() driver.
 //
 // Backend::Auto picks the fastest correct substrate: a LocalRule goes
-// through the active-set engine (per-round cost O(frontier), the thin-wave
-// regime of Theorems 7-8) when serial and the pooled packed full sweep
-// when a ThreadPool is supplied; a runtime rule functor takes the
-// table-driven generic sweep. All backends produce bit-identical
-// RunResults - same trajectories, same terminal classification, same round
-// accounting (property-tested per rule in tests/test_run.cpp and
-// tests/test_rules.cpp).
+// through the active-set engine - per-round cost O(frontier), the
+// thin-wave regime of Theorems 7-8, pool-aware since the segmented
+// rewrite - and a runtime rule functor takes the table-driven generic
+// sweep. Explicit backends are honored or refused loudly (a rule the
+// requested engine cannot step is an error naming the alternatives, never
+// a silent fallback). All backends produce bit-identical RunResults -
+// same trajectories, same terminal classification, same round accounting
+// (property-tested per rule in tests/test_run.cpp and tests/test_rules.cpp).
 #pragma once
 
 #include <array>
+#include <stdexcept>
 #include <type_traits>
 #include <utility>
 
 #include "core/run/runner.hpp"
 #include "core/sim/active_engine.hpp"
+#include "core/sim/bitplane_engine.hpp"
 #include "core/sim/packed_engine.hpp"
 #include "core/sync_engine.hpp"
 #include "grid/torus.hpp"
@@ -46,15 +49,7 @@ RunResult simulate_as(const grid::Torus& torus, const ColorField& initial,
                       const RunOptions& options = {}) {
     require_complete(torus, initial);
     Backend backend = options.backend;
-    if (backend == Backend::Auto) {
-        backend = options.pool != nullptr ? Backend::Packed : Backend::Active;
-    }
-    // The active-set engine is serial by design (span bookkeeping is not
-    // partitioned); refuse the combination rather than silently ignoring
-    // the pool. Backend::Auto already routes pooled runs to Packed.
-    DYNAMO_REQUIRE(backend != Backend::Active || options.pool == nullptr,
-                   "Backend::Active is serial; use Backend::Auto or Backend::Packed "
-                   "with a ThreadPool");
+    if (backend == Backend::Auto) backend = Backend::Active;
 
     if (backend == Backend::Active) {
         sim::ActiveEngineT<R> engine(torus, initial);
@@ -64,14 +59,27 @@ RunResult simulate_as(const grid::Torus& torus, const ColorField& initial,
         BasicSyncEngine<sim::RuleFnOf<R>> engine(torus, initial);
         return run_to_terminal(engine, options);
     }
+    if (backend == Backend::BitPlane) {
+        if constexpr (sim::kBitplaneSupported<R>) {
+            sim::BitplaneEngineT<R> engine(torus, initial);
+            return run_to_terminal(engine, options);
+        } else {
+            // A LocalRule without a word kernel: neither bi-color nor
+            // providing bitplane_apply. Refuse with the alternatives.
+            throw std::invalid_argument(backend_unsupported_message(
+                Backend::BitPlane, R::kName, "active, auto, generic, packed"));
+        }
+    }
     sim::PackedEngineT<R> engine(torus, initial);
     return run_to_terminal(engine, options);
 }
 
 /// Run a runtime rule functor from `initial` until a terminal behaviour.
 /// SmpRuleFn is recognized and forwarded to the packed path; any other
-/// functor type steps the table-driven sweep (a LocalRule type should use
-/// simulate_as<R>() or its registry entry instead).
+/// functor type is opaque to the stencil engines, so only the table-driven
+/// generic sweep can step it - an explicit packed/active/bitplane request
+/// is refused loudly, never silently downgraded (a LocalRule type should
+/// use simulate_as<R>() or its registry entry instead).
 template <typename Rule>
 RunResult simulate_rule(const grid::Torus& torus, const ColorField& initial, Rule rule,
                         const RunOptions& options = {}) {
@@ -81,14 +89,13 @@ RunResult simulate_rule(const grid::Torus& torus, const ColorField& initial, Rul
         require_complete(torus, initial);
         const Backend backend =
             options.backend == Backend::Auto ? Backend::Generic : options.backend;
-        DYNAMO_REQUIRE(backend != Backend::Active,
-                       "Backend::Active needs a static LocalRule; use simulate_as<R>() or a "
-                       "registered rule");
-        if (backend == Backend::Generic) {
-            BasicSyncEngine<GenericRule<Rule>> engine(torus, initial, GenericRule<Rule>{rule});
-            return run_to_terminal(engine, options);
+        if (backend != Backend::Generic) {
+            throw std::invalid_argument(
+                backend_unsupported_message(backend, "<runtime functor>", "auto, generic") +
+                "; compile it as a LocalRule (simulate_as<R>() or a registry entry) for the "
+                "stencil engines");
         }
-        BasicSyncEngine<Rule> engine(torus, initial, std::move(rule));
+        BasicSyncEngine<GenericRule<Rule>> engine(torus, initial, GenericRule<Rule>{rule});
         return run_to_terminal(engine, options);
     }
 }

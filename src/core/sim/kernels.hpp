@@ -74,6 +74,20 @@ struct SmpRule {
         const bool adopt = (best >= 1) & (sum != 4);
         return adopt ? cand : own;
     }
+
+    /// Word-parallel hook for the bit-plane engine
+    /// (core/sim/bitplane_engine.hpp): `target` holds, per 3-bit lane, the
+    /// SMP trigger outcome next(own, ...) already computed by the shared
+    /// pair-counting kernel; the SMP rule adopts it verbatim. Multi-color
+    /// rules of the form g(own, smp_target) ride the same kernel by
+    /// providing their own bitplane_apply (rules/incremental.hpp).
+    static void bitplane_apply(const std::uint64_t own[3], const std::uint64_t target[3],
+                               std::uint64_t out[3]) noexcept {
+        (void)own;
+        out[0] = target[0];
+        out[1] = target[1];
+        out[2] = target[2];
+    }
 };
 
 /// Seed-era name for the SMP cell kernel, kept so existing call sites

@@ -51,6 +51,31 @@ struct IncrementalStep {
         const Color down = static_cast<Color>(own - 1);
         return target == own ? own : (target > own ? up : down);
     }
+
+    /// Word-parallel hook for the bit-plane engine
+    /// (core/sim/bitplane_engine.hpp): given 3-bit lanes of the own colors
+    /// and of the SMP trigger outcome, advance each lane one step along the
+    /// ordered scale toward the target; lanes with target == own keep. The
+    /// 3-bit increment/decrement cannot wrap on admissible inputs (target
+    /// and own are both in 1..7, and a step fires only TOWARD target).
+    static void bitplane_apply(const std::uint64_t own[3], const std::uint64_t target[3],
+                               std::uint64_t out[3]) noexcept {
+        using W = std::uint64_t;
+        const W move = (target[0] ^ own[0]) | (target[1] ^ own[1]) | (target[2] ^ own[2]);
+        // 3-bit unsigned compare target > own, most significant plane first.
+        const W gt = (target[2] & ~own[2]) |
+                     (~(target[2] ^ own[2]) &
+                      ((target[1] & ~own[1]) | (~(target[1] ^ own[1]) & (target[0] & ~own[0]))));
+        // own + 1 / own - 1 with ripple carries/borrows inside each lane.
+        const W inc0 = ~own[0], inc1 = own[1] ^ own[0], inc2 = own[2] ^ (own[1] & own[0]);
+        const W dec0 = ~own[0], dec1 = own[1] ^ ~own[0], dec2 = own[2] ^ (~own[1] & ~own[0]);
+        const W step0 = (inc0 & gt) | (dec0 & ~gt);
+        const W step1 = (inc1 & gt) | (dec1 & ~gt);
+        const W step2 = (inc2 & gt) | (dec2 & ~gt);
+        out[0] = (step0 & move) | (own[0] & ~move);
+        out[1] = (step1 & move) | (own[1] & ~move);
+        out[2] = (step2 & move) | (own[2] & ~move);
+    }
 };
 
 /// Engine rule functor for the ordered "+1" protocol: the runtime

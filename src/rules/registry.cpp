@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "core/run/simulate.hpp"
+#include "core/sim/bitplane_engine.hpp"
 #include "core/sim/packed_engine.hpp"
 #include "core/transform.hpp"
 #include "rules/incremental.hpp"
@@ -66,6 +67,24 @@ std::size_t generic_sweep_entry(const grid::Torus& torus, const Color* src, Colo
 }
 
 template <sim::LocalRule R>
+double bitplane_cps_entry(const grid::Torus& torus, const ColorField& field, int warmup,
+                          int rounds) {
+    return sim::bitplane_cells_per_sec<R>(torus, field, warmup, rounds);
+}
+
+/// nullptr for rules without a word kernel - the template above must not
+/// be instantiated for them (its engine static_asserts support).
+template <sim::LocalRule R>
+constexpr auto bitplane_cps_ptr() {
+    using Fn = double (*)(const grid::Torus&, const ColorField&, int, int);
+    if constexpr (sim::kBitplaneSupported<R>) {
+        return Fn{&bitplane_cps_entry<R>};
+    } else {
+        return Fn{nullptr};
+    }
+}
+
+template <sim::LocalRule R>
 constexpr RuleInfo make_info(const char* summary) {
     return RuleInfo{
         R::kName,
@@ -85,6 +104,8 @@ constexpr RuleInfo make_info(const char* summary) {
         +[](const grid::Torus& t) {
             return std::unique_ptr<RuleVerifier>(new SearchVerifierT<R>(t));
         },
+        sim::kBitplaneSupported<R>,
+        bitplane_cps_ptr<R>(),
     };
 }
 
@@ -150,6 +171,29 @@ std::string known_rule_names() {
         names += rule->name;
     }
     return names;
+}
+
+bool backend_supports(Backend backend, const RuleInfo& rule) noexcept {
+    // Every registered rule is a LocalRule, so the byte engines and the
+    // generic sweep always apply; only the bit-plane engine needs a word
+    // kernel.
+    return backend != Backend::BitPlane || rule.bitplane;
+}
+
+std::string supported_backend_names(const RuleInfo& rule) {
+    std::string names;
+    for (const Backend b : {Backend::Active, Backend::Auto, Backend::BitPlane, Backend::Generic,
+                            Backend::Packed}) {
+        if (!backend_supports(b, rule)) continue;
+        if (!names.empty()) names += ", ";
+        names += backend_name(b);
+    }
+    return names;
+}
+
+std::string backend_support_error(Backend backend, const RuleInfo& rule) {
+    if (backend_supports(backend, rule)) return "";
+    return backend_unsupported_message(backend, rule.name, supported_backend_names(rule));
 }
 
 } // namespace dynamo::rules

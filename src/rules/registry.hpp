@@ -78,6 +78,16 @@ struct RuleInfo {
     /// Search-convention verifier factory (see RuleVerifier).
     std::unique_ptr<RuleVerifier> (*make_search_verifier)(const grid::Torus&);
 
+    /// Does this rule have a word-parallel bit-plane kernel
+    /// (sim::kBitplaneSupported<R>, core/sim/bitplane_engine.hpp)? All
+    /// shipped rules do; the flag exists so backend_supports() can answer
+    /// for future registry entries without one.
+    bool bitplane;
+    /// Raw bit-plane sweep throughput (sim::bitplane_cells_per_sec<R>),
+    /// for bench_perf_engine's bit-plane section; nullptr when !bitplane.
+    double (*bitplane_cells_per_sec)(const grid::Torus&, const ColorField&, int warmup,
+                                     int rounds);
+
     bool bicolor() const noexcept { return max_colors == 2; }
     /// Is a palette of |C| colors admissible under this rule?
     bool admits_palette(Color total_colors) const noexcept {
@@ -99,5 +109,19 @@ const std::vector<const RuleInfo*>& all_rules();
 
 /// "incremental, irreversible-majority, ..." - for error messages.
 std::string known_rule_names();
+
+/// Can `backend` step `rule`? The runtime face of the engine-capability
+/// queries: simulate_as<R> answers the same question at compile time, and
+/// scenario/manifest validation asks here BEFORE launching a campaign so
+/// an unsupported rule x backend combination fails at bind time with one
+/// actionable message (backend_support_error) instead of mid-run.
+bool backend_supports(Backend backend, const RuleInfo& rule) noexcept;
+
+/// "" when supported; otherwise the one refusal message, listing the
+/// backends that CAN step the rule (backend_unsupported_message).
+std::string backend_support_error(Backend backend, const RuleInfo& rule);
+
+/// Backends able to step `rule`, as a "active, auto, ..." list.
+std::string supported_backend_names(const RuleInfo& rule);
 
 } // namespace dynamo::rules

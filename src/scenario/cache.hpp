@@ -32,7 +32,12 @@ namespace dynamo::scenario {
 /// Epoch 2: the rule-generic engines (LocalRule concept, `rule=`
 /// parameters) - trajectories are unchanged for SMP, but points may now
 /// carry rule identity, so pre-rule entries are orphaned wholesale.
-inline constexpr int kCodeEpoch = 2;
+/// Epoch 3: the first-class Backend API - points may now carry a
+/// `backend=` binding, so pre-backend entries are orphaned. Campaigns
+/// differing only in backend= hash to distinct keys (the binding is part
+/// of the canonical serialization) while their metrics/reports stay
+/// byte-identical - pinned in tests/test_scenario.cpp.
+inline constexpr int kCodeEpoch = 3;
 
 struct CacheKey {
     std::string scenario;

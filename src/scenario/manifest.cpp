@@ -60,6 +60,10 @@ void check_binding(const std::string& where, const Scenario& s, const std::strin
             fail(where, "\"" + key + "\": unknown rule '" + lexeme +
                             "'; known: " + rules::known_rule_names());
         }
+        if (spec->type == ParamType::Backend) {
+            fail(where, "\"" + key + "\": unknown backend '" + lexeme +
+                            "'; known: " + known_backend_names());
+        }
         fail(where, "\"" + key + "\" expects " + std::string(to_string(spec->type)) +
                         ", got '" + lexeme + "'");
     }

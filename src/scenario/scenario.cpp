@@ -8,6 +8,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "core/run/backend.hpp"
 #include "rules/registry.hpp"
 #include "util/assert.hpp"
 #include "util/table.hpp"
@@ -60,6 +61,7 @@ bool value_parses_as(ParamType type, const std::string& value) {
         return static_cast<bool>(is >> v) && is.eof();
     }
     if (type == ParamType::Rule) return rules::find_rule(value) != nullptr;
+    if (type == ParamType::Backend) return backend_from_name(value).has_value();
     return true;  // String accepts anything; Flag values are ignored
 }
 
@@ -72,6 +74,7 @@ const char* to_string(ParamType t) noexcept {
         case ParamType::Flag: return "flag";
         case ParamType::OptValue: return "flag[=value]";
         case ParamType::Rule: return "rule";
+        case ParamType::Backend: return "backend";
     }
     return "?";
 }
@@ -142,6 +145,10 @@ std::string validate_args(const Scenario& s, const CliArgs& args, bool strict) {
             if (spec->type == ParamType::Rule) {
                 return "--" + key + ": unknown rule '" + value +
                        "'; known: " + rules::known_rule_names();
+            }
+            if (spec->type == ParamType::Backend) {
+                return "--" + key + ": unknown backend '" + value +
+                       "'; known: " + known_backend_names();
             }
             return "--" + key + " expects " + std::string(to_string(spec->type)) + ", got '" +
                    value + "'";

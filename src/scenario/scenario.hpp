@@ -50,6 +50,14 @@ enum class ParamType {
     /// - by `dynamo run` and by manifest binding checks - with a message
     /// listing the known names.
     Rule,
+    /// An engine backend name (core/run/backend.hpp): `--backend=auto`,
+    /// `--backend=bitplane`, ... Validated against backend_from_name the
+    /// same way Rule values resolve against the rule registry, so an
+    /// unknown backend is rejected at parse/bind time with a message
+    /// listing the known names. Whether the named backend can step the
+    /// scenario's RULE is checked by the scenario via
+    /// rules::backend_support_error before launching.
+    Backend,
 };
 
 const char* to_string(ParamType t) noexcept;

@@ -27,7 +27,8 @@ using grid::Torus;
 
 constexpr Topology kTopologies[] = {Topology::ToroidalMesh, Topology::TorusCordalis,
                                     Topology::TorusSerpentinus};
-constexpr Backend kBackends[] = {Backend::Packed, Backend::Active, Backend::Generic};
+constexpr Backend kBackends[] = {Backend::Packed, Backend::Active, Backend::Generic,
+                                 Backend::BitPlane};
 
 ColorField checkerboard(const Torus& t, Color a, Color b) {
     ColorField f(t.size());
@@ -77,12 +78,13 @@ TEST(RunBackends, AllBackendsProduceBitIdenticalResults) {
             opts.target = 1;
             opts.backend = Backend::Generic;
             const RunResult reference = simulate(t, field, opts);
-            for (const Backend backend : {Backend::Packed, Backend::Active, Backend::Auto}) {
+            for (const Backend backend :
+                 {Backend::Packed, Backend::Active, Backend::BitPlane, Backend::Auto}) {
                 opts.backend = backend;
                 const RunResult result = simulate(t, field, opts);
                 expect_results_identical(reference, result,
                                          std::string(to_string(topo)) + "/" + name +
-                                             "/backend=" + std::to_string(int(backend)));
+                                             "/backend=" + backend_name(backend));
             }
         }
     }
@@ -116,13 +118,18 @@ TEST(RunBackends, EveryRegisteredRuleIsBitIdenticalAcrossBackends) {
                 opts.target = rule->bicolor() ? Color(2) : Color(1);
                 opts.backend = Backend::Generic;
                 const RunResult reference = rule->run(t, field, opts);
-                for (const Backend backend : {Backend::Packed, Backend::Active, Backend::Auto}) {
+                for (const Backend backend :
+                     {Backend::Packed, Backend::Active, Backend::BitPlane, Backend::Auto}) {
+                    if (backend == Backend::BitPlane &&
+                        !rules::backend_supports(backend, *rule)) {
+                        continue;  // defensive: every shipped rule has a word kernel
+                    }
                     opts.backend = backend;
                     const RunResult result = rule->run(t, field, opts);
                     expect_results_identical(reference, result,
                                              std::string(rule->name) + "/" + to_string(topo) +
                                                  "/" + name + "/backend=" +
-                                                 std::to_string(int(backend)));
+                                                 backend_name(backend));
                 }
                 // Irreversible rules are monotone by construction on every
                 // run that the tracker observed.
@@ -169,18 +176,79 @@ TEST(RunBackends, FrontierRunAgreesWithSimulateRounds) {
     EXPECT_EQ(engine.round(), 0u);
 }
 
-TEST(RunBackends, ExplicitActiveBackendRefusesAPool) {
-    // The active-set engine is serial; an explicit Active + pool request
-    // must fail loudly instead of silently running on one thread.
+TEST(RunBackends, PooledRunsAreBitIdenticalToSerialOnEveryBackend) {
+    // The segmented active-set engine (and every other backend) is
+    // pool-aware: an explicit backend + pool must produce the same
+    // RunResult bit for bit as the same backend serial - phase 2 of the
+    // active sweep stays serial precisely so the change lists and
+    // activation order cannot depend on scheduling.
+    Xoshiro256 rng(0x9001);
+    ThreadPool pool(3);
+    for (const Topology topo : kTopologies) {
+        Torus t(topo, 17, 13);
+        for (int trial = 0; trial < 3; ++trial) {
+            const ColorField f = random_field(t, 4, rng);
+            for (const Backend backend : kBackends) {
+                RunOptions serial_opts;
+                serial_opts.backend = backend;
+                serial_opts.target = 1;
+                const RunResult serial = simulate(t, f, serial_opts);
+
+                RunOptions pooled_opts = serial_opts;
+                pooled_opts.pool = &pool;
+                pooled_opts.parallel_grain = 1;
+                const RunResult pooled = simulate(t, f, pooled_opts);
+                expect_results_identical(serial, pooled,
+                                         std::string(to_string(topo)) + "/trial" +
+                                             std::to_string(trial) + "/backend=" +
+                                             backend_name(backend));
+            }
+        }
+    }
+    // Auto with a pool now takes the pooled active path and must succeed.
     Torus t(Topology::ToroidalMesh, 6, 6);
-    ThreadPool pool(2);
     RunOptions opts;
-    opts.backend = Backend::Active;
-    opts.pool = &pool;
-    EXPECT_THROW(simulate(t, checkerboard(t, 1, 2), opts), std::invalid_argument);
-    // Auto with a pool routes to Packed instead and must succeed.
     opts.backend = Backend::Auto;
+    opts.pool = &pool;
     EXPECT_EQ(simulate(t, checkerboard(t, 1, 2), opts).termination, Termination::Cycle);
+}
+
+TEST(RunBackends, UnsupportedRuleBackendCombinationsFailLoudly) {
+    // A runtime rule functor is opaque to the stencil engines: explicit
+    // packed / active / bitplane requests must refuse with one actionable
+    // message, never silently downgrade to the generic sweep.
+    Torus t(Topology::ToroidalMesh, 6, 6);
+    const ColorField f = checkerboard(t, 1, 2);
+    const auto flip = [](Color own, const std::array<Color, grid::kDegree>& nbr) noexcept {
+        return nbr[0] == nbr[1] ? nbr[0] : own;
+    };
+    for (const Backend backend : {Backend::Packed, Backend::Active, Backend::BitPlane}) {
+        RunOptions opts;
+        opts.backend = backend;
+        try {
+            simulate_rule(t, f, flip, opts);
+            FAIL() << "backend " << backend_name(backend) << " accepted a runtime functor";
+        } catch (const std::invalid_argument& e) {
+            EXPECT_NE(std::string(e.what()).find("cannot step rule"), std::string::npos)
+                << e.what();
+            EXPECT_NE(std::string(e.what()).find("generic"), std::string::npos) << e.what();
+        }
+    }
+    // Auto and explicit Generic still run it.
+    RunOptions opts;
+    opts.backend = Backend::Auto;
+    EXPECT_EQ(simulate_rule(t, f, flip, opts).termination, Termination::Cycle);
+    // The registry-level capability query agrees with the dispatch: every
+    // registered rule has a word kernel, so every backend is supported and
+    // the error string is empty.
+    for (const rules::RuleInfo* rule : rules::all_rules()) {
+        EXPECT_TRUE(rule->bitplane) << rule->name;
+        for (const Backend backend : kBackends) {
+            EXPECT_TRUE(rules::backend_supports(backend, *rule))
+                << rule->name << "/" << backend_name(backend);
+            EXPECT_EQ(rules::backend_support_error(backend, *rule), "") << rule->name;
+        }
+    }
 }
 
 TEST(RunBackends, FrontierRunZeroCapExecutesNoRounds) {

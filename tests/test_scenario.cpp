@@ -16,6 +16,7 @@
 #include "scenario/campaign.hpp"
 #include "scenario/manifest.hpp"
 #include "scenario/scenario.hpp"
+#include "core/run/backend.hpp"
 #include "core/run/batch.hpp"
 #include "rules/registry.hpp"
 #include "util/json.hpp"
@@ -411,6 +412,79 @@ TEST(Cache, RuleIdentityKeysNeverCollide) {
     b.params["rule"] = "threshold-2";
     EXPECT_NE(cache_hash(a), cache_hash(b));
     EXPECT_NE(canonical_key_string(a), canonical_key_string(b));
+}
+
+TEST(Cache, BackendBindingsKeySeparatelyButReportIdentically) {
+    // Satellite of the Backend-API PR: campaigns differing only in
+    // `backend=` occupy disjoint cache entries (the binding is part of the
+    // hashed identity - results are shared between backends only by being
+    // recomputed), while the produced metrics AND report text must be
+    // byte-identical - the engines promise the same trajectories, and the
+    // scenario keeps wall-clock out of both.
+    const ScratchDir dir("cache_backend");
+    const auto manifest_for = [](const std::string& backend) {
+        return parse_manifest(
+            R"({"name": "backends", "scenario": "mc_density_point",
+                "fixed": {"m": 6, "n": 6, "trials": 4, "backend": ")" +
+                backend + R"("}})",
+            "test-manifest");
+    };
+    CampaignOptions options;
+    options.cache_dir = dir.path();
+
+    const CampaignOutcome active = run_campaign(manifest_for("active"), options);
+    EXPECT_EQ(active.computed, 1u);
+    const CampaignOutcome bitplane = run_campaign(manifest_for("bitplane"), options);
+    EXPECT_EQ(bitplane.computed, 1u);
+    EXPECT_EQ(bitplane.cached, 0u) << "backend= must be part of the cache identity";
+    ASSERT_EQ(active.points.size(), 1u);
+    ASSERT_EQ(bitplane.points.size(), 1u);
+    EXPECT_EQ(active.points[0].result.metrics, bitplane.points[0].result.metrics)
+        << "backends must produce byte-identical metrics";
+    EXPECT_EQ(active.points[0].result.report, bitplane.points[0].result.report)
+        << "backends must produce byte-identical reports";
+    // Warm re-runs hit their own entries.
+    EXPECT_EQ(run_campaign(manifest_for("active"), options).cached, 1u);
+    EXPECT_EQ(run_campaign(manifest_for("bitplane"), options).cached, 1u);
+
+    // Key-level: the binding difference lands in the hash.
+    const CacheKey a{"mc_density_point", kCodeEpoch, {{"m", "6"}, {"backend", "active"}}};
+    CacheKey b = a;
+    b.params["backend"] = "bitplane";
+    EXPECT_NE(cache_hash(a), cache_hash(b));
+    EXPECT_NE(canonical_key_string(a), canonical_key_string(b));
+}
+
+TEST(Registry, BackendParamsValidateAgainstTheBackendNames) {
+    // ParamType::Backend resolves values against core/run/backend.hpp at
+    // parse time, on both surfaces: `dynamo run` arg validation and
+    // manifest binding checks, with errors listing the valid names.
+    const Scenario* s = find("mc_density_point");
+    ASSERT_NE(s, nullptr);
+    const auto spec = std::find_if(s->params.begin(), s->params.end(),
+                                   [](const ParamSpec& p) { return p.name == "backend"; });
+    ASSERT_NE(spec, s->params.end());
+    EXPECT_EQ(spec->type, ParamType::Backend);
+    EXPECT_STREQ(to_string(ParamType::Backend), "backend");
+
+    for (const char* name : {"auto", "packed", "active", "generic", "bitplane"}) {
+        EXPECT_TRUE(value_parses_as(ParamType::Backend, name)) << name;
+        EXPECT_TRUE(backend_from_name(name).has_value()) << name;
+        EXPECT_STREQ(backend_name(*backend_from_name(name)), name);
+    }
+    EXPECT_FALSE(value_parses_as(ParamType::Backend, "no-such-backend"));
+    EXPECT_EQ(known_backend_names(), "active, auto, bitplane, generic, packed");
+
+    const CliArgs bad(std::map<std::string, std::string>{{"backend", "no-such-backend"}});
+    const std::string err = validate_args(*s, bad, /*strict=*/true);
+    EXPECT_NE(err.find("unknown backend"), std::string::npos) << err;
+    EXPECT_NE(err.find("bitplane"), std::string::npos)
+        << "the error must list the known backends: " << err;
+
+    EXPECT_THROW(parse_manifest(R"({"name": "x", "scenario": "mc_density_point",
+                                    "fixed": {"backend": "no-such-backend"}})",
+                                "test-manifest"),
+                 std::invalid_argument);
 }
 
 TEST(Registry, RuleParamsValidateAgainstTheRuleRegistry) {
