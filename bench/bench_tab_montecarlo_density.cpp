@@ -41,12 +41,12 @@ int scenario_main(dynamo::scenario::Context& ctx) {
         const auto points =
             analysis::run_density_sweep(torus, 1, densities, colors, trials, 0xd00d, &pool);
 
-        ConsoleTable table({"density", "P(k-mono)", "95% halfwidth", "P(other mono)",
-                            "cycles", "fixed pts", "mean rounds|mono",
+        ConsoleTable table({"density", "P(k-mono)", "lo95", "hi95", "95% halfwidth",
+                            "P(other mono)", "cycles", "fixed pts", "mean rounds|mono",
                             "mean final k-share"});
         for (const auto& p : points) {
-            table.add_row(p.density, p.p_k_mono(),
-                          analysis::wilson_halfwidth(p.k_mono, p.trials),
+            table.add_row(p.density, p.p_k_mono(), p.p_ci_lower(), p.p_ci_upper(),
+                          p.p_ci_half(),
                           static_cast<double>(p.other_mono) / static_cast<double>(p.trials),
                           p.cycles, p.fixed_points, p.mean_rounds_mono,
                           p.mean_final_k_fraction);

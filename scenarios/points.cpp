@@ -48,7 +48,6 @@ int run_mc_density_point(Context& ctx) {
     DYNAMO_REQUIRE(rule.admits_palette(colors),
                    std::string("palette size inadmissible for rule '") + rule.name + "'");
     const double density = ctx.args.get_double("density", 0.3);
-    const auto trials = static_cast<std::size_t>(ctx.args.get_int("trials", 120));
     const std::uint64_t seed = ctx.args.get_uint64("seed", 53261);
     const Backend backend =
         backend_from_name(ctx.args.get_string("backend", "auto")).value();
@@ -57,25 +56,66 @@ int run_mc_density_point(Context& ctx) {
     const std::string backend_error = rules::backend_support_error(backend, rule);
     DYNAMO_REQUIRE(backend_error.empty(), backend_error);
 
+    // ci_target > 0 switches the point to adaptive mode: the confidence
+    // sequence decides the trial count, so an explicit trials= binding
+    // would be a contradiction (and a silently ignored one is worse).
+    const double ci_target = ctx.args.get_double("ci_target", 0.0);
+    DYNAMO_REQUIRE(ci_target >= 0.0, "ci_target must be >= 0 (0 = fixed-trial mode)");
+    const bool adaptive = ci_target > 0.0;
+    DYNAMO_REQUIRE(!(adaptive && ctx.args.has("trials")),
+                   "adaptive mode (ci_target > 0) decides the trial count itself; "
+                   "drop trials= or set ci_target=0");
+    const auto trials = static_cast<std::size_t>(ctx.args.get_int("trials", 120));
+
     // The seeded faction: color 1 under color-symmetric rules, the black
     // (faulty) faction under the bi-color baselines.
     const Color k = rule.bicolor() ? kBlack : Color(1);
     const grid::Torus torus(topo, m, n);
-    // Serial inside the point: campaigns parallelize ACROSS points, and
-    // run_density_point is bit-identical serial vs pooled anyway.
-    const analysis::DensityPoint p = analysis::run_density_point(torus, k, density, colors,
-                                                                 trials, seed, nullptr, &rule,
-                                                                 backend);
 
-    ConsoleTable table({"density", "P(k-mono)", "other mono", "cycles", "fixed pts",
-                        "mean rounds|mono", "mean final k-share"});
-    table.add_row(p.density, p.p_k_mono(),
+    analysis::DensityPoint p;
+    analysis::AdaptiveDensityPoint ap;
+    if (adaptive) {
+        analysis::AdaptiveOptions opts;
+        const std::string boundary_str = ctx.args.get_string("boundary", "eb");
+        const auto boundary = stats::boundary_from_name(boundary_str);
+        DYNAMO_REQUIRE(boundary.has_value(),
+                       "unknown boundary '" + boundary_str + "' (known: " +
+                           stats::known_boundary_names() + ")");
+        opts.stopping.boundary = *boundary;
+        opts.stopping.ci_target = ci_target;
+        opts.stopping.delta = ctx.args.get_double("delta", 0.05);
+        opts.stopping.union_count =
+            static_cast<std::size_t>(ctx.args.get_int("union", 1));
+        opts.max_trials = static_cast<std::size_t>(ctx.args.get_int("max_trials", 10000));
+        // Serial inside the point: campaigns parallelize ACROSS points, and
+        // the adaptive runner is chunk- and pool-invariant anyway.
+        ap = analysis::run_density_point_adaptive(torus, k, density, colors, seed, opts,
+                                                  nullptr, &rule, backend);
+        p = ap.point;
+    } else {
+        p = analysis::run_density_point(torus, k, density, colors, trials, seed, nullptr,
+                                        &rule, backend);
+    }
+
+    ConsoleTable table({"density", "P(k-mono)", "lo95", "hi95", "other mono", "cycles",
+                        "fixed pts", "mean rounds|mono", "mean final k-share"});
+    table.add_row(p.density, p.p_k_mono(), p.p_ci_lower(), p.p_ci_upper(),
                   static_cast<double>(p.other_mono) / static_cast<double>(p.trials), p.cycles,
                   p.fixed_points, p.mean_rounds_mono, p.mean_final_k_fraction);
     ctx.out << "M1 density point on the " << to_string(topo) << " " << m << "x" << n << ", |C|="
-            << int(colors) << ", rule " << rule.name << ", " << trials << " trials, seed "
-            << seed << "\n";
+            << int(colors) << ", rule " << rule.name << ", ";
+    if (adaptive) {
+        ctx.out << "adaptive (" << ctx.args.get_string("boundary", "eb") << ", ci_target "
+                << fmt(ci_target) << "), " << p.trials << " trials used, seed " << seed << "\n";
+    } else {
+        ctx.out << trials << " trials, seed " << seed << "\n";
+    }
     table.print(ctx.out);
+    if (adaptive) {
+        ctx.out << "anytime CI [" << fmt(ap.lower) << ", " << fmt(ap.upper) << "] half-width "
+                << fmt(ap.half_width) << ", " << (ap.converged ? "converged" : "hit max_trials")
+                << ", computed " << ap.computed << " trials (incl. discarded chunk tail)\n";
+    }
 
     ctx.metrics["trials"] = std::to_string(p.trials);
     ctx.metrics["k_mono"] = std::to_string(p.k_mono);
@@ -83,8 +123,18 @@ int run_mc_density_point(Context& ctx) {
     ctx.metrics["cycles"] = std::to_string(p.cycles);
     ctx.metrics["fixed_points"] = std::to_string(p.fixed_points);
     ctx.metrics["p_k_mono"] = fmt(p.p_k_mono());
+    ctx.metrics["p_ci95_half"] = fmt(p.p_ci_half());
+    ctx.metrics["p_ci95_lo"] = fmt(p.p_ci_lower());
+    ctx.metrics["p_ci95_hi"] = fmt(p.p_ci_upper());
     ctx.metrics["mean_rounds_mono"] = fmt(p.mean_rounds_mono);
     ctx.metrics["mean_final_k_share"] = fmt(p.mean_final_k_fraction);
+    if (adaptive) {
+        ctx.metrics["ci_half"] = fmt(ap.half_width);
+        ctx.metrics["ci_lo"] = fmt(ap.lower);
+        ctx.metrics["ci_hi"] = fmt(ap.upper);
+        ctx.metrics["converged"] = ap.converged ? "true" : "false";
+        ctx.metrics["decided"] = std::to_string(ap.decided);
+    }
     return 0;
 }
 
@@ -103,8 +153,18 @@ int run_mc_density_point(Context& ctx) {
          "engine backend each trial steps (identical outcomes across backends)"},
         {"colors", ParamType::Int, "4", "3", "palette size |C| (bi-color rules default to 2)"},
         {"density", ParamType::Double, "0.3", "", "per-vertex probability of the seeded color"},
-        {"trials", ParamType::Int, "120", "6", "random colorings per point"},
+        {"trials", ParamType::Int, "120", "6",
+         "random colorings per point (fixed mode; forbidden when ci_target > 0)"},
         {"seed", ParamType::Uint, "53261", "", "base RNG seed (trial t uses substream t)"},
+        {"ci_target", ParamType::Double, "0", "",
+         "adaptive mode: stop when the anytime CI half-width reaches this (0 = fixed trials)"},
+        {"delta", ParamType::Double, "0.05", "",
+         "adaptive error budget: the anytime CI covers with probability 1 - delta"},
+        {"boundary", ParamType::String, "eb", "",
+         "confidence-sequence boundary: eb | hoeffding"},
+        {"union", ParamType::Int, "1", "",
+         "concurrent grid points sharing delta (cross-point union bound)"},
+        {"max_trials", ParamType::Int, "10000", "60", "adaptive hard trial cap"},
     },
     &run_mc_density_point,
 });

@@ -38,44 +38,48 @@ struct TrialOutcome {
     std::size_t final_k = 0;
 };
 
-} // namespace
+void check_rule_backend(Color num_colors, const rules::RuleInfo* rule, Backend backend) {
+    if (rule == nullptr) return;
+    DYNAMO_REQUIRE(rule->admits_palette(num_colors),
+                   std::string("palette size inadmissible for rule '") + rule->name + "'");
+    const std::string error = rules::backend_support_error(backend, *rule);
+    DYNAMO_REQUIRE(error.empty(), error);
+}
 
-DensityPoint run_density_point(const grid::Torus& torus, Color k, double density,
-                               Color num_colors, std::size_t trials, std::uint64_t seed,
-                               ThreadPool* pool, const rules::RuleInfo* rule, Backend backend) {
-    if (rule != nullptr) {
-        DYNAMO_REQUIRE(rule->admits_palette(num_colors),
-                       std::string("palette size inadmissible for rule '") + rule->name + "'");
-        const std::string error = rules::backend_support_error(backend, *rule);
-        DYNAMO_REQUIRE(error.empty(), error);
-    }
+/// One trial: a random coloring from the trial's private substream, run
+/// to termination. Shared verbatim by the fixed and adaptive paths, so an
+/// adaptive point's prefix is bit-identical to a fixed-trial run.
+TrialOutcome run_one_trial(const grid::Torus& torus, Color k, double density,
+                           Color num_colors, const rules::RuleInfo* rule, Backend backend,
+                           Xoshiro256& rng) {
+    const ColorField initial = random_coloring(torus.size(), k, num_colors, density, rng);
+    // Backend::Auto: each (serial) trial takes the active-set fast path;
+    // parallelism is across trials, not within the sweep.
+    RunOptions opts;
+    opts.backend = backend;
+    const RunResult result =
+        rule != nullptr ? rule->run(torus, initial, opts) : simulate(torus, initial, opts);
+    return {result.termination, result.rounds, result.mono,
+            count_color(result.final_colors, k)};
+}
+
+/// Deterministic trial-order reduction of the first `trials` outcomes.
+DensityPoint reduce_outcomes(const grid::Torus& torus, double density,
+                             const std::vector<TrialOutcome>& outcomes, std::size_t trials) {
     DensityPoint point;
     point.density = density;
     point.trials = trials;
-
-    std::vector<TrialOutcome> outcomes(trials);
-    BatchRunner batch(pool);
-    batch.run_trials(trials, seed, [&](std::size_t t, Xoshiro256& rng) {
-        const ColorField initial = random_coloring(torus.size(), k, num_colors, density, rng);
-        // Backend::Auto: each (serial) trial takes the active-set fast
-        // path; parallelism is across trials, not within the sweep.
-        RunOptions opts;
-        opts.backend = backend;
-        const RunResult result =
-            rule != nullptr ? rule->run(torus, initial, opts) : simulate(torus, initial, opts);
-        outcomes[t] = {result.termination, result.rounds, result.mono,
-                       count_color(result.final_colors, k)};
-    });
-
     double rounds_sum = 0.0;
     double k_fraction_sum = 0.0;
-    for (const TrialOutcome& outcome : outcomes) {
+    for (std::size_t t = 0; t < trials; ++t) {
+        const TrialOutcome& outcome = outcomes[t];
         switch (outcome.termination) {
             case Termination::Monochromatic:
-                if (outcome.mono && *outcome.mono == k) {
+                // k-monochromatic iff every vertex holds k at termination.
+                if (outcome.mono && outcome.final_k == torus.size()) {
                     ++point.k_mono;
                     rounds_sum += outcome.rounds;
-                } else {
+                } else if (outcome.mono) {
                     ++point.other_mono;
                 }
                 break;
@@ -90,6 +94,52 @@ DensityPoint run_density_point(const grid::Torus& torus, Color k, double density
     point.mean_rounds_mono = rounds_sum;
     point.mean_final_k_fraction = k_fraction_sum / static_cast<double>(trials ? trials : 1);
     return point;
+}
+
+} // namespace
+
+DensityPoint run_density_point(const grid::Torus& torus, Color k, double density,
+                               Color num_colors, std::size_t trials, std::uint64_t seed,
+                               ThreadPool* pool, const rules::RuleInfo* rule, Backend backend) {
+    check_rule_backend(num_colors, rule, backend);
+    std::vector<TrialOutcome> outcomes(trials);
+    BatchRunner batch(pool);
+    batch.run_trials(trials, seed, [&](std::size_t t, Xoshiro256& rng) {
+        outcomes[t] = run_one_trial(torus, k, density, num_colors, rule, backend, rng);
+    });
+    return reduce_outcomes(torus, density, outcomes, trials);
+}
+
+AdaptiveDensityPoint run_density_point_adaptive(const grid::Torus& torus, Color k,
+                                                double density, Color num_colors,
+                                                std::uint64_t seed,
+                                                const AdaptiveOptions& options,
+                                                ThreadPool* pool, const rules::RuleInfo* rule,
+                                                Backend backend) {
+    check_rule_backend(num_colors, rule, backend);
+    std::vector<TrialOutcome> outcomes(options.max_trials);
+    stats::SequentialOptions seq;
+    seq.stopping = options.stopping;
+    seq.max_trials = options.max_trials;
+    seq.chunk = options.chunk;
+    const stats::SequentialEstimator estimator(seq, pool);
+    const stats::SequentialResult result =
+        estimator.run(seed, [&](std::size_t t, Xoshiro256& rng) {
+            outcomes[t] = run_one_trial(torus, k, density, num_colors, rule, backend, rng);
+            const bool is_k_mono = outcomes[t].termination == Termination::Monochromatic &&
+                                   outcomes[t].mono && *outcomes[t].mono == k;
+            return is_k_mono ? 1.0 : 0.0;
+        });
+
+    AdaptiveDensityPoint adaptive;
+    adaptive.point = reduce_outcomes(torus, density, outcomes, result.trials);
+    adaptive.half_width = result.half_width;
+    adaptive.lower = result.lower;
+    adaptive.upper = result.upper;
+    adaptive.decided = result.decided;
+    adaptive.converged = result.converged;
+    adaptive.computed = result.computed;
+    return adaptive;
 }
 
 std::vector<DensityPoint> run_density_sweep(const grid::Torus& torus, Color k,

@@ -63,4 +63,25 @@ inline double wilson_halfwidth(std::size_t successes, std::size_t trials) {
     return z * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n)) / (1.0 + z * z / n);
 }
 
+/// Center of the Wilson interval: the shrunk estimate the half-width
+/// brackets (NOT the raw p-hat; the interval [center - h, center + h]
+/// stays inside [0, 1] by construction).
+inline double wilson_center(std::size_t successes, std::size_t trials) {
+    if (trials == 0) return 0.0;
+    const double z = 1.959963985;
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    return (p + z * z / (2.0 * n)) / (1.0 + z * z / n);
+}
+
+inline double wilson_lower(std::size_t successes, std::size_t trials) {
+    return std::max(0.0, wilson_center(successes, trials) -
+                             wilson_halfwidth(successes, trials));
+}
+
+inline double wilson_upper(std::size_t successes, std::size_t trials) {
+    return std::min(1.0, wilson_center(successes, trials) +
+                             wilson_halfwidth(successes, trials));
+}
+
 } // namespace dynamo::analysis

@@ -8,6 +8,10 @@
 //   dynamo run <scenario> [--k=v ...]    run one scenario (strict args)
 //   dynamo campaign <manifest.json>      expand x cache-or-compute x report
 //          [--force] [--workers=N] [--cache-dir=DIR] [--out=FILE]
+//          [--progress=FILE]             live JSONL: one line per completed point
+//   dynamo report <campaign.json>        render a campaign artifact as a
+//          [--format=markdown|json]      comparison table (atlas-aware)
+//          [--out=FILE]
 //   dynamo cache stats|clear [--cache-dir=DIR]
 //
 // The seed-era bench/example binaries are wrappers over the same registry
@@ -16,10 +20,12 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "scenario/campaign.hpp"
+#include "scenario/report.hpp"
 #include "scenario/scenario.hpp"
 #include "util/parallel.hpp"
 
@@ -34,9 +40,14 @@ int usage(std::ostream& out, int code) {
            "  dynamo describe <scenario>          show parameters and defaults\n"
            "  dynamo run <scenario> [--k=v ...]   run one scenario\n"
            "  dynamo campaign <manifest.json> [--force] [--workers=N (0 = hardware)]\n"
-           "                  [--cache-dir=DIR] [--out=FILE]\n"
+           "                  [--cache-dir=DIR] [--out=FILE] [--progress=FILE]\n"
            "                                      run an experiment manifest through\n"
            "                                      the content-addressed result cache\n"
+           "                                      (--progress: live JSONL, one line\n"
+           "                                      per completed point)\n"
+           "  dynamo report <campaign.json> [--format=markdown|json] [--out=FILE]\n"
+           "                                      render a campaign artifact as a\n"
+           "                                      comparison table (atlas-aware)\n"
            "  dynamo cache stats|clear [--cache-dir=DIR]\n"
            "\n"
            "docs: docs/scenarios.md (catalog), docs/manifest-format.md (campaigns),\n"
@@ -90,10 +101,10 @@ int cmd_run(int argc, char** argv) {
 
 int cmd_campaign(int argc, char** argv) {
     const CliArgs args(argc - 1, argv + 1,
-                       CliGrammar{{"force"}, {"workers", "cache-dir", "out"}});
+                       CliGrammar{{"force"}, {"workers", "cache-dir", "out", "progress"}});
     if (args.positional().size() != 1) {
         std::cerr << "usage: dynamo campaign <manifest.json> [--force] [--workers=N] "
-                     "[--cache-dir=DIR] [--out=FILE]\n";
+                     "[--cache-dir=DIR] [--out=FILE] [--progress=FILE]\n";
         return 2;
     }
     const scenario::Manifest manifest = scenario::load_manifest(args.positional()[0]);
@@ -101,6 +112,13 @@ int cmd_campaign(int argc, char** argv) {
     scenario::CampaignOptions options;
     options.force = args.get_flag("force");
     options.cache_dir = args.get_string("cache-dir", options.cache_dir);
+    std::ofstream progress;
+    if (const std::string path = args.get_string("progress", ""); !path.empty()) {
+        progress.open(path, std::ios::binary | std::ios::trunc);
+        DYNAMO_REQUIRE(static_cast<bool>(progress),
+                       "cannot write campaign progress '" + path + "'");
+        options.progress = &progress;
+    }
     const std::int64_t workers_arg = args.get_int("workers", 0);
     const unsigned workers =
         workers_arg > 0 ? static_cast<unsigned>(workers_arg) : ThreadPool::default_threads();
@@ -126,6 +144,43 @@ int cmd_campaign(int argc, char** argv) {
     // warm cache computes zero points.
     std::cout << outcome.summary(manifest) << "\n";
     return outcome.failed == 0 ? 0 : 1;
+}
+
+int cmd_report(int argc, char** argv) {
+    const CliArgs args(argc - 1, argv + 1, CliGrammar{{}, {"format", "out"}});
+    if (args.positional().size() != 1) {
+        std::cerr << "usage: dynamo report <campaign.json> [--format=markdown|json] "
+                     "[--out=FILE]\n";
+        return 2;
+    }
+    const std::string format_name = args.get_string("format", "markdown");
+    scenario::ReportFormat format;
+    if (format_name == "markdown") {
+        format = scenario::ReportFormat::Markdown;
+    } else if (format_name == "json") {
+        format = scenario::ReportFormat::Json;
+    } else {
+        std::cerr << "dynamo report: unknown format '" << format_name
+                  << "' (known: markdown, json)\n";
+        return 2;
+    }
+
+    const std::string path = args.positional()[0];
+    std::ifstream in(path, std::ios::binary);
+    DYNAMO_REQUIRE(static_cast<bool>(in), "cannot open campaign artifact '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string rendered = scenario::render_report(buf.str(), path, format);
+
+    const std::string out_path = args.get_string("out", "");
+    if (out_path.empty()) {
+        std::cout << rendered;
+    } else {
+        std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+        DYNAMO_REQUIRE(static_cast<bool>(out), "cannot write report '" + out_path + "'");
+        out << rendered;
+    }
+    return 0;
 }
 
 int cmd_cache(int argc, char** argv) {
@@ -157,6 +212,7 @@ int main(int argc, char** argv) {
         if (cmd == "describe") return cmd_describe(argc, argv);
         if (cmd == "run") return cmd_run(argc, argv);
         if (cmd == "campaign") return cmd_campaign(argc, argv);
+        if (cmd == "report") return cmd_report(argc, argv);
         if (cmd == "cache") return cmd_cache(argc, argv);
         if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(std::cout, 0);
     } catch (const std::exception& e) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/parallel.hpp"
@@ -38,8 +39,19 @@ class BatchRunner {
     /// shared mutable state); rng is the trial's private substream.
     template <typename Fn>
     void run_trials(std::size_t trials, std::uint64_t seed, Fn&& fn) const {
-        parallel_for_blocks(pool_, trials, min_grain_, [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t t = lo; t < hi; ++t) {
+        run_trials(0, trials, seed, std::forward<Fn>(fn));
+    }
+
+    /// Range form: trials [lo, hi) of the batch seeded with `seed`. Trial
+    /// t still draws from substream_seed(seed, t), so running a batch in
+    /// any sequence of chunks produces the trials the one-shot form
+    /// would — the sequential estimators (stats/sequential.hpp) lean on
+    /// this to grow a batch chunk by chunk without changing any trial.
+    template <typename Fn>
+    void run_trials(std::size_t lo, std::size_t hi, std::uint64_t seed, Fn&& fn) const {
+        DYNAMO_ASSERT(lo <= hi, "trial range is inverted");
+        parallel_for_blocks(pool_, hi - lo, min_grain_, [&](std::size_t a, std::size_t b) {
+            for (std::size_t t = lo + a; t < lo + b; ++t) {
                 Xoshiro256 rng(substream_seed(seed, t));
                 fn(t, rng);
             }

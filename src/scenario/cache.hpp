@@ -37,7 +37,11 @@ namespace dynamo::scenario {
 /// differing only in backend= hash to distinct keys (the binding is part
 /// of the canonical serialization) while their metrics/reports stay
 /// byte-identical - pinned in tests/test_scenario.cpp.
-inline constexpr int kCodeEpoch = 3;
+/// Epoch 4: adaptive Monte-Carlo (src/stats/) - density points may now
+/// carry `ci_target=` / `delta=` bindings and emit CI-annotated metrics
+/// (p_ci95_*), so stats-era campaign reports must never collide with
+/// epoch-3 entries - pinned in tests/test_scenario.cpp.
+inline constexpr int kCodeEpoch = 4;
 
 struct CacheKey {
     std::string scenario;

@@ -4,6 +4,8 @@
 // for the determinism contract).
 #include "scenario/campaign.hpp"
 
+#include <mutex>
+#include <ostream>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -37,6 +39,24 @@ CachedResult compute_point(const Scenario& scenario, const PointSpec& point) {
     return result;
 }
 
+/// One progress JSONL line. The stream is shared across pool workers, so
+/// callers serialize through a mutex; each line is flushed immediately so
+/// `tail -f` of a progress file tracks the campaign live.
+void emit_progress(std::ostream& out, std::size_t index, const char* status,
+                   const CampaignPoint& point) {
+    JsonObject params;
+    for (const auto& [k, v] : point.spec.params) params.emplace_back(k, Json(v));
+    JsonObject metrics;
+    for (const auto& [k, v] : point.result.metrics) metrics.emplace_back(k, Json(v));
+    JsonObject line;
+    line.emplace_back("index", Json(static_cast<std::uint64_t>(index)));
+    line.emplace_back("status", Json(std::string(status)));
+    line.emplace_back("exit_code", Json(static_cast<std::int64_t>(point.result.exit_code)));
+    line.emplace_back("params", Json(std::move(params)));
+    line.emplace_back("metrics", Json(std::move(metrics)));
+    out << Json(std::move(line)).dump(0) << "\n" << std::flush;
+}
+
 } // namespace
 
 CampaignOutcome run_campaign(const Manifest& manifest, const CampaignOptions& options) {
@@ -59,6 +79,8 @@ CampaignOutcome run_campaign(const Manifest& manifest, const CampaignOptions& op
             if (auto hit = cache.lookup(key)) {
                 point.result = std::move(*hit);
                 point.from_cache = true;
+                if (options.progress != nullptr)
+                    emit_progress(*options.progress, i, "cached", point);
                 continue;
             }
         }
@@ -66,11 +88,18 @@ CampaignOutcome run_campaign(const Manifest& manifest, const CampaignOptions& op
     }
 
     // Pass 2: compute the misses across the pool. Each point writes only
-    // its own slot; grain 1 because points are coarse units of work.
+    // its own slot; grain 1 because points are coarse units of work. The
+    // progress stream is the one shared sink, serialized by a mutex.
+    std::mutex progress_mutex;
     parallel_for_blocks(options.pool, missing.size(), 1, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t j = lo; j < hi; ++j) {
             CampaignPoint& point = outcome.points[missing[j]];
             point.result = compute_point(*scenario, point.spec);
+            if (options.progress != nullptr) {
+                const std::lock_guard<std::mutex> lock(progress_mutex);
+                emit_progress(*options.progress, missing[j],
+                              point.result.exit_code == 0 ? "computed" : "failed", point);
+            }
         }
     });
 

@@ -28,6 +28,13 @@ struct CampaignOptions {
     ThreadPool* pool = nullptr;    ///< nullptr computes points serially (same report)
     std::string cache_dir = ".dynamo-cache";
     int code_epoch = kCodeEpoch;   ///< injectable for invalidation tests
+    /// Optional live progress stream (JSONL): one object per completed
+    /// point — {"index", "status": "cached"|"computed"|"failed",
+    /// "exit_code", "params", "metrics"} — flushed as each point lands, so
+    /// a tail -f of the file tracks a long campaign. Lines appear in
+    /// COMPLETION order (pool scheduling), not expansion order; the
+    /// campaign JSON remains the deterministic artifact.
+    std::ostream* progress = nullptr;
 };
 
 struct CampaignPoint {

@@ -1,0 +1,33 @@
+// dynamo/scenario/report.hpp
+//
+// Campaign report aggregation: `dynamo report <campaign.json>` renders
+// the campaign driver's JSON artifact into comparison tables — markdown
+// for humans and docs, JSON for downstream tooling. The renderer is
+// atlas-aware: a campaign over `mc_critical_density` becomes a per-rule x
+// topology critical-density table (bracket midpoint + [lo, hi]), the
+// shape of the phase-transition atlas in
+// manifests/atlas_phase_transition.json. Any other campaign falls back to
+// a generic table: one row per point, the parameters that VARY across
+// points as leading columns, every metric key after them.
+//
+// Determinism: the rendering is a pure function of the campaign JSON
+// (itself a pure function of the manifest — campaign.hpp), so cold and
+// warm renders are byte-identical and CI can gate on the bytes.
+#pragma once
+
+#include <string>
+
+namespace dynamo::scenario {
+
+enum class ReportFormat {
+    Markdown,
+    Json,
+};
+
+/// Parse `campaign_json` (the `dynamo campaign` artifact; `where` names
+/// it in error messages) and render it in `format`. Throws
+/// std::invalid_argument on malformed input (not a campaign document).
+std::string render_report(const std::string& campaign_json, const std::string& where,
+                          ReportFormat format);
+
+} // namespace dynamo::scenario

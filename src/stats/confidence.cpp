@@ -1,0 +1,109 @@
+// dynamo/stats/confidence.cpp
+//
+// Boundary evaluation for the anytime-valid confidence sequences (see
+// confidence.hpp for the math and the determinism contract).
+#include "stats/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dynamo::stats {
+
+namespace {
+
+/// Geometric checkpoint growth. 1.08 balances the union-bound penalty
+/// (fewer checkpoints -> smaller ln term) against overshoot (a stop can
+/// come at most 8% after the first sufficient sample size).
+constexpr double kCheckpointGrowth = 1.08;
+
+std::size_t next_checkpoint_after(std::size_t n) noexcept {
+    const auto grown = static_cast<std::size_t>(std::ceil(static_cast<double>(n) *
+                                                          kCheckpointGrowth));
+    return std::max(grown, n + 1);
+}
+
+} // namespace
+
+const char* boundary_name(Boundary b) noexcept {
+    switch (b) {
+        case Boundary::Hoeffding: return "hoeffding";
+        case Boundary::EmpiricalBernstein: return "eb";
+    }
+    return "?";
+}
+
+std::optional<Boundary> boundary_from_name(const std::string& name) noexcept {
+    if (name == "hoeffding") return Boundary::Hoeffding;
+    if (name == "eb") return Boundary::EmpiricalBernstein;
+    return std::nullopt;
+}
+
+std::string known_boundary_names() { return "eb, hoeffding"; }
+
+ConfidenceSequence::ConfidenceSequence(const StoppingConfig& config) : config_(config) {
+    DYNAMO_REQUIRE(config_.delta > 0.0 && config_.delta < 1.0, "delta must lie in (0, 1)");
+    DYNAMO_REQUIRE(config_.union_count >= 1, "union_count must be >= 1");
+    DYNAMO_REQUIRE(config_.ci_target >= 0.0, "ci_target must be >= 0");
+    DYNAMO_REQUIRE(config_.min_trials >= 1, "min_trials must be >= 1");
+    delta_each_ = config_.delta / static_cast<double>(config_.union_count);
+    next_checkpoint_ = config_.min_trials;
+}
+
+ConfidenceSequence::Signal ConfidenceSequence::observe(double x) {
+    DYNAMO_REQUIRE(!stopped_, "observe() after the sequence stopped");
+    DYNAMO_REQUIRE(x >= 0.0 && x <= 1.0, "observation outside [0, 1]");
+    ++n_;
+    sum_ += x;
+    sumsq_ += x * x;
+    if (n_ == next_checkpoint_) {
+        evaluate_checkpoint();
+        next_checkpoint_ = next_checkpoint_after(n_);
+    }
+    return stopped_ ? Signal::Stop : Signal::Continue;
+}
+
+void ConfidenceSequence::evaluate_checkpoint() {
+    ++checkpoint_index_;
+    const auto n = static_cast<double>(n_);
+    const auto k = static_cast<double>(checkpoint_index_);
+    // delta_k = delta_each / (k (k+1)): sums to delta_each over all k.
+    const double delta_k = delta_each_ / (k * (k + 1.0));
+    const double mean = sum_ / n;
+
+    double width = 1.0;
+    switch (config_.boundary) {
+        case Boundary::Hoeffding: {
+            width = std::sqrt(std::log(2.0 / delta_k) / (2.0 * n));
+            break;
+        }
+        case Boundary::EmpiricalBernstein: {
+            // Clamp: sumsq/n - mean^2 can go epsilon-negative in floating
+            // point (not for {0,1} observations, but the bound admits any
+            // bounded stream).
+            const double variance = std::max(0.0, sumsq_ / n - mean * mean);
+            const double log_term = std::log(3.0 / delta_k);
+            width = std::sqrt(2.0 * variance * log_term / n) + 3.0 * log_term / n;
+            break;
+        }
+    }
+
+    snap_estimate_ = mean;
+    snap_half_ = width;
+    snap_lower_ = std::max(0.0, mean - width);
+    snap_upper_ = std::min(1.0, mean + width);
+
+    if (config_.decision_threshold >= 0.0) {
+        if (snap_upper_ < config_.decision_threshold) {
+            decided_ = -1;
+        } else if (snap_lower_ > config_.decision_threshold) {
+            decided_ = 1;
+        } else {
+            decided_ = 0;
+        }
+    }
+    const bool width_met = config_.ci_target > 0.0 && width <= config_.ci_target;
+    const bool decision_met = config_.decision_threshold >= 0.0 && decided_ != 0;
+    if (width_met || decision_met) stopped_ = true;
+}
+
+} // namespace dynamo::stats

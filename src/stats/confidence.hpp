@@ -1,0 +1,127 @@
+// dynamo/stats/confidence.hpp
+//
+// Anytime-valid confidence sequences for bounded observations — the
+// statistical core of adaptive Monte-Carlo. A fixed-trial experiment may
+// only look at its estimate once; a confidence SEQUENCE stays valid at
+// every sample size simultaneously, so an estimator can peek after every
+// trial and stop the moment its interval is tight enough (or excludes a
+// decision threshold) without inflating the error probability. That is
+// exactly what the M1 reproduction needs: tight intervals near each
+// rule's critical density, few trials where the flood-probability curve
+// is flat.
+//
+// Two boundaries, both exact finite-sample bounds for observations in
+// [0, 1], evaluated on a geometric checkpoint schedule n_1 = min_trials,
+// n_{k+1} = ceil(1.08 * n_k), with the error budget delta split across
+// checkpoints as delta_k = delta / (k (k+1)) (sums to delta):
+//
+//   * Hoeffding:           w = sqrt( ln(2/delta_k) / (2n) )
+//   * empirical Bernstein: w = sqrt( 2 V_n ln(3/delta_k) / n )
+//                              + 3 ln(3/delta_k) / n
+//     (Audibert-Munos-Szepesvari; V_n is the empirical variance, so the
+//     boundary collapses like 1/n — not 1/sqrt(n) — on near-deterministic
+//     streams, which is why the flat ends of a density sweep get cheap)
+//
+// The union bound P(any checkpoint lies) <= sum_k delta_k <= delta makes
+// the sequence of intervals simultaneously valid, so stopping at the
+// FIRST checkpoint whose interval satisfies the goal is sound. A second,
+// configurable union bound (union_count) splits delta across concurrent
+// sequences — one per grid point of a campaign — so a whole phase-
+// transition atlas is simultaneously valid at level 1 - delta.
+//
+// Determinism contract: a ConfidenceSequence is a pure function of its
+// config and the ordered observation stream. Checkpoint times depend only
+// on n, never on wall clock or on how the caller batches the stream, so
+// the stop decision is identical for any chunking of the same trials
+// (pinned in tests/test_stats.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace dynamo::stats {
+
+enum class Boundary {
+    Hoeffding,
+    EmpiricalBernstein,
+};
+
+/// Canonical names: "hoeffding", "eb".
+const char* boundary_name(Boundary b) noexcept;
+std::optional<Boundary> boundary_from_name(const std::string& name) noexcept;
+/// Sorted, comma-separated (error messages, docs): "eb, hoeffding".
+std::string known_boundary_names();
+
+struct StoppingConfig {
+    Boundary boundary = Boundary::EmpiricalBernstein;
+    /// Stop when the interval half-width falls to this value; 0 disables
+    /// width stopping (decision stopping below still applies).
+    double ci_target = 0.0;
+    /// Total error budget of the experiment this sequence belongs to.
+    double delta = 0.05;
+    /// Number of concurrent sequences sharing `delta` (grid points of a
+    /// campaign); this sequence runs at delta / union_count.
+    std::size_t union_count = 1;
+    /// Stop when the interval excludes this value (a flood/no-flood
+    /// decision at p = 1/2, say); negative disables decision stopping.
+    double decision_threshold = -1.0;
+    /// First checkpoint: no boundary is evaluated (and no stop can
+    /// happen) before this many observations.
+    std::size_t min_trials = 16;
+};
+
+/// The StoppingRule: feed observations in [0, 1] one at a time; after
+/// each, `observe` reports whether the sequence wants to continue or has
+/// stopped, and the accessors expose the running estimate and its
+/// anytime-valid interval (as of the last evaluated checkpoint).
+class ConfidenceSequence {
+  public:
+    enum class Signal { Continue, Stop };
+
+    explicit ConfidenceSequence(const StoppingConfig& config);
+
+    /// Consume the next observation. Must not be called after Stop.
+    Signal observe(double x);
+
+    /// Observations consumed so far.
+    std::size_t count() const noexcept { return n_; }
+    /// Checkpoints evaluated so far.
+    std::size_t checkpoints() const noexcept { return checkpoint_index_; }
+    bool stopped() const noexcept { return stopped_; }
+    /// -1: interval below the decision threshold; +1: above; 0: undecided
+    /// (or decision stopping disabled).
+    int decided() const noexcept { return decided_; }
+
+    /// Running mean and interval at the last evaluated checkpoint — the
+    /// coherent (estimate, CI) pair the union bound certifies. Before the
+    /// first checkpoint the interval is vacuous ([0, 1], half-width 1).
+    double estimate() const noexcept { return snap_estimate_; }
+    double half_width() const noexcept { return snap_half_; }
+    double lower() const noexcept { return snap_lower_; }
+    double upper() const noexcept { return snap_upper_; }
+
+    /// Per-sequence error budget after the cross-point union bound.
+    double delta_each() const noexcept { return delta_each_; }
+
+  private:
+    void evaluate_checkpoint();
+
+    StoppingConfig config_;
+    double delta_each_;
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    double sumsq_ = 0.0;
+    std::size_t next_checkpoint_;
+    std::size_t checkpoint_index_ = 0;
+    bool stopped_ = false;
+    int decided_ = 0;
+    double snap_estimate_ = 0.0;
+    double snap_half_ = 1.0;
+    double snap_lower_ = 0.0;
+    double snap_upper_ = 1.0;
+};
+
+} // namespace dynamo::stats

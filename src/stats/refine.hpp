@@ -1,0 +1,154 @@
+// dynamo/stats/refine.hpp
+//
+// Critical-point refinement over a monotone decision curve. The M1
+// flood-probability curve p(rho) rises from ~0 to ~1 through a sharp
+// threshold at each rule's critical density; a fixed density ladder burns
+// its whole budget on the flat ends and straddles the interesting region
+// with one coarse step. refine_critical spends probes where the curve is
+// steep instead: a coarse ladder locates the Below -> Above flip, then
+// bisection narrows the bracket until it meets the target width (or a
+// probe comes back Undecided — the statistical resolution limit of the
+// per-probe trial cap).
+//
+// The probe is abstract (ProbeSide = Below / Above / Undecided relative
+// to the decision threshold), so the logic is unit-testable without
+// simulations; analysis/montecarlo.hpp supplies the real probe — an
+// adaptive density point in decision mode. Determinism: probes are issued
+// in a fixed order (ladder left to right, then bisection midpoints), and
+// each carries its issue index so callers can derive per-probe RNG
+// substreams — the bracket is a pure function of the probe function.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dynamo::stats {
+
+enum class ProbeSide {
+    Below,      ///< interval entirely below the decision threshold
+    Above,      ///< interval entirely above
+    Undecided,  ///< interval straddles it at the probe's trial cap
+};
+
+inline const char* probe_side_name(ProbeSide side) noexcept {
+    switch (side) {
+        case ProbeSide::Below: return "below";
+        case ProbeSide::Above: return "above";
+        case ProbeSide::Undecided: return "undecided";
+    }
+    return "?";
+}
+
+struct RefineOptions {
+    double lo = 0.0;             ///< search interval (inclusive)
+    double hi = 1.0;
+    std::size_t ladder = 6;      ///< coarse scan points, endpoints included (>= 2)
+    double bracket_target = 0.02;
+    std::size_t max_probes = 32; ///< total budget: ladder + bisection
+};
+
+struct ProbeRecord {
+    std::size_t index = 0;  ///< issue order; also the caller's RNG substream
+    double x = 0.0;
+    ProbeSide side = ProbeSide::Undecided;
+};
+
+struct CriticalBracket {
+    /// A Below -> Above transition exists inside [lo, hi]. When false the
+    /// curve never crossed the threshold on the scanned interval (or the
+    /// probes were too noisy to order it) and [lo, hi] is just the
+    /// unrefined scan interval.
+    bool found = false;
+    double lo = 0.0;
+    double hi = 1.0;
+    /// Bracket narrowed to bracket_target. False when the probe budget
+    /// ran out or a bisection probe came back Undecided.
+    bool converged = false;
+    std::vector<ProbeRecord> probes;  ///< in issue order
+
+    double width() const noexcept { return hi - lo; }
+    double midpoint() const noexcept { return (lo + hi) / 2.0; }
+};
+
+/// probe(x, index) -> ProbeSide; must be a pure function of (x, index).
+/// Assumes the underlying curve is monotone in x (Below at small x).
+template <typename ProbeFn>
+CriticalBracket refine_critical(const RefineOptions& options, ProbeFn&& probe) {
+    DYNAMO_REQUIRE(options.lo < options.hi, "refine interval is empty");
+    DYNAMO_REQUIRE(options.ladder >= 2, "ladder needs at least its two endpoints");
+    DYNAMO_REQUIRE(options.bracket_target > 0.0, "bracket_target must be positive");
+    DYNAMO_REQUIRE(options.max_probes >= options.ladder,
+                   "probe budget smaller than the ladder");
+
+    CriticalBracket bracket;
+    bracket.lo = options.lo;
+    bracket.hi = options.hi;
+
+    const auto issue = [&](double x) {
+        const std::size_t index = bracket.probes.size();
+        const ProbeSide side = probe(x, index);
+        bracket.probes.push_back({index, x, side});
+        return side;
+    };
+
+    // Coarse ladder, left to right: the whole curve lands in the report,
+    // and the flip (if any) is located to one ladder step.
+    double last_below = options.lo;
+    bool saw_below = false;
+    double first_above = options.hi;
+    bool saw_above = false;
+    const double step =
+        (options.hi - options.lo) / static_cast<double>(options.ladder - 1);
+    for (std::size_t i = 0; i < options.ladder; ++i) {
+        const double x = i + 1 == options.ladder
+                             ? options.hi
+                             : options.lo + static_cast<double>(i) * step;
+        switch (issue(x)) {
+            case ProbeSide::Below:
+                if (!saw_above) {  // monotone: ignore Below past a decided Above
+                    last_below = x;
+                    saw_below = true;
+                }
+                break;
+            case ProbeSide::Above:
+                if (!saw_above) {
+                    first_above = x;
+                    saw_above = true;
+                }
+                break;
+            case ProbeSide::Undecided: break;
+        }
+    }
+    // Without a decided Above the curve never crossed (irreversible rules
+    // that flood everywhere decide Above at the first rung instead).
+    bracket.found = saw_above && last_below < first_above;
+    if (!bracket.found) {
+        if (saw_below) bracket.lo = last_below;
+        if (saw_above) bracket.hi = first_above;
+        return bracket;
+    }
+    bracket.lo = last_below;
+    bracket.hi = first_above;
+
+    // Bisection toward the crossing until the bracket meets the target.
+    // An Undecided midpoint means the per-probe trial budget cannot tell
+    // this density apart from the threshold: report the bracket as-is.
+    while (bracket.width() > options.bracket_target &&
+           bracket.probes.size() < options.max_probes) {
+        const double mid = bracket.midpoint();
+        const ProbeSide side = issue(mid);
+        if (side == ProbeSide::Below) {
+            bracket.lo = mid;
+        } else if (side == ProbeSide::Above) {
+            bracket.hi = mid;
+        } else {
+            return bracket;  // converged stays false
+        }
+    }
+    bracket.converged = bracket.width() <= options.bracket_target;
+    return bracket;
+}
+
+} // namespace dynamo::stats

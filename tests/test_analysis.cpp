@@ -149,6 +149,102 @@ TEST(MonteCarlo, SerialAndPooledDensityPointsAreBitIdentical) {
     }
 }
 
+TEST(Stats, WilsonBoundsBracketTheEstimate) {
+    // The Wilson interval is asymmetric around the sample proportion (its
+    // center shrinks toward 1/2) but must always contain it, stay inside
+    // [0, 1], and agree with center +/- halfwidth.
+    const double lower = wilson_lower(13, 48);
+    const double upper = wilson_upper(13, 48);
+    const double center = wilson_center(13, 48);
+    const double half = wilson_halfwidth(13, 48);
+    EXPECT_NEAR(lower, center - half, 1e-12);
+    EXPECT_NEAR(upper, center + half, 1e-12);
+    const double p_hat = 13.0 / 48.0;
+    EXPECT_LT(lower, p_hat);
+    EXPECT_GT(upper, p_hat);
+    EXPECT_GT(center, p_hat) << "Wilson center shrinks toward 1/2";
+    // Degenerate proportions keep honest, in-range bounds.
+    EXPECT_EQ(wilson_lower(0, 20), 0.0);
+    EXPECT_GT(wilson_upper(0, 20), 0.0) << "0/20 successes does not prove p = 0";
+    EXPECT_EQ(wilson_upper(20, 20), 1.0);
+    EXPECT_LT(wilson_lower(20, 20), 1.0);
+}
+
+TEST(MonteCarlo, AdaptivePrefixCensusMatchesTheFixedTrialRun) {
+    // Adaptive stopping decides WHEN to stop, never what a trial is: the
+    // census over the consumed prefix must be bit-identical to a fixed
+    // run of exactly that many trials with the same seed.
+    Torus t(Topology::ToroidalMesh, 8, 8);
+    AdaptiveOptions options;
+    options.stopping.ci_target = 0.15;
+    options.max_trials = 2000;
+    const AdaptiveDensityPoint adaptive =
+        run_density_point_adaptive(t, 1, 0.45, 4, 0xd00d, options);
+    ASSERT_TRUE(adaptive.converged);
+    ASSERT_GT(adaptive.point.trials, 0u);
+    EXPECT_GE(adaptive.computed, adaptive.point.trials);
+
+    const DensityPoint fixed =
+        run_density_point(t, 1, 0.45, 4, adaptive.point.trials, 0xd00d);
+    EXPECT_EQ(adaptive.point.k_mono, fixed.k_mono);
+    EXPECT_EQ(adaptive.point.other_mono, fixed.other_mono);
+    EXPECT_EQ(adaptive.point.cycles, fixed.cycles);
+    EXPECT_EQ(adaptive.point.fixed_points, fixed.fixed_points);
+    EXPECT_DOUBLE_EQ(adaptive.point.mean_rounds_mono, fixed.mean_rounds_mono);
+    EXPECT_DOUBLE_EQ(adaptive.point.mean_final_k_fraction, fixed.mean_final_k_fraction);
+    // The anytime CI is coherent with the estimate and met its target.
+    EXPECT_LE(adaptive.half_width, 0.15);
+    EXPECT_LE(adaptive.lower, adaptive.point.p_k_mono());
+    EXPECT_GE(adaptive.upper, adaptive.point.p_k_mono());
+}
+
+TEST(MonteCarlo, AdaptivePointIsInvariantAcrossPoolAndChunk) {
+    Torus t(Topology::ToroidalMesh, 6, 6);
+    AdaptiveOptions options;
+    options.stopping.ci_target = 0.2;
+    options.max_trials = 1500;
+    options.chunk = 64;
+    const AdaptiveDensityPoint serial =
+        run_density_point_adaptive(t, 1, 0.5, 4, 0xFACE, options);
+    ASSERT_TRUE(serial.converged);
+
+    ThreadPool pool(3);
+    AdaptiveOptions rechunked = options;
+    rechunked.chunk = 5;
+    for (const AdaptiveOptions& o : {options, rechunked}) {
+        const AdaptiveDensityPoint other =
+            run_density_point_adaptive(t, 1, 0.5, 4, 0xFACE, o, &pool);
+        EXPECT_EQ(other.point.trials, serial.point.trials);
+        EXPECT_EQ(other.point.k_mono, serial.point.k_mono);
+        EXPECT_DOUBLE_EQ(other.point.mean_final_k_fraction,
+                         serial.point.mean_final_k_fraction);
+        EXPECT_DOUBLE_EQ(other.half_width, serial.half_width);
+        EXPECT_EQ(other.decided, serial.decided);
+        EXPECT_EQ(other.converged, serial.converged);
+    }
+}
+
+TEST(MonteCarlo, AdaptiveDecisionModeCallsTheObviousSides) {
+    // At density 1.0 every trial floods (P = 1), at 0.0 none does (P = 0):
+    // a decision-mode point at threshold 1/2 must stop on the correct side
+    // within a handful of checkpoints (the zero-variance EB boundary needs
+    // ~59 trials to push the interval past 1/2 at delta = 0.05).
+    Torus t(Topology::ToroidalMesh, 6, 6);
+    AdaptiveOptions options;
+    options.stopping.decision_threshold = 0.5;
+    options.max_trials = 2000;
+    const AdaptiveDensityPoint above =
+        run_density_point_adaptive(t, 1, 1.0, 4, 7, options);
+    EXPECT_EQ(above.decided, 1);
+    EXPECT_TRUE(above.converged);
+    EXPECT_LT(above.point.trials, 100u);
+    const AdaptiveDensityPoint below =
+        run_density_point_adaptive(t, 1, 0.0, 4, 7, options);
+    EXPECT_EQ(below.decided, -1);
+    EXPECT_TRUE(below.converged);
+    EXPECT_LT(below.point.trials, 100u);
+}
+
 TEST(MonteCarlo, DensityPointRegressionPin) {
     // Pins one M1 table cell (mesh 8x8, k=1, rho=0.45, |C|=4, 48 trials,
     // seed 0xd00d) so any change to the substream scheme, the engines, or

@@ -15,6 +15,7 @@
 
 #include "scenario/campaign.hpp"
 #include "scenario/manifest.hpp"
+#include "scenario/report.hpp"
 #include "scenario/scenario.hpp"
 #include "core/run/backend.hpp"
 #include "core/run/batch.hpp"
@@ -71,7 +72,8 @@ TEST(Registry, HasTheFullCatalog) {
           "fig1_fig2_mesh_dynamo", "fig3_fig4_non_dynamos", "fig5_fig6_wave_matrices",
           "search_scaling", "quickstart", "fault_containment", "viral_marketing",
           "wavefront_frames", "opinion_scalefree", "mc_density_point",
-          "search_scaling_point", "perf_smp_sweep"}) {
+          "search_scaling_point", "perf_smp_sweep", "mc_critical_density",
+          "adaptive_mc"}) {
         EXPECT_NE(find(name), nullptr) << name;
     }
 }
@@ -109,11 +111,11 @@ TEST(Registry, EveryScenarioRunsAtItsSmokePoint) {
         Context ctx{args, out, {}};
         int rc = -1;
         ASSERT_NO_THROW(rc = run(*s, ctx)) << s->name;
-        // search_scaling is special twice over: its exit code encodes a
-        // machine-relative speedup gate a smoke-size budget need not
-        // clear, and its progress report goes to stderr (stdout is
-        // reserved for --help and the JSON record).
-        if (s->name != "search_scaling") {
+        // Two scenarios encode perf gates in their exit codes that a
+        // smoke-size workload need not clear: search_scaling (machine-
+        // relative speedup; progress also goes to stderr) and adaptive_mc
+        // (trial-savings gates that only hold at the committed epsilon).
+        if (s->name != "search_scaling" && s->name != "adaptive_mc") {
             EXPECT_EQ(rc, 0) << s->name;
             EXPECT_FALSE(out.str().empty()) << s->name << " produced no report";
         }
@@ -513,6 +515,208 @@ TEST(Registry, RuleParamsValidateAgainstTheRuleRegistry) {
                                     "fixed": {"rule": "no-such-rule"}})",
                                 "test-manifest"),
                  std::invalid_argument);
+}
+
+TEST(Cache, EpochFourEntriesNeverCollideWithEpochThree) {
+    // Satellite of the adaptive-MC PR: kCodeEpoch moved 3 -> 4 because the
+    // mc_density_point metrics block changed shape (p_ci95_* always, the
+    // adaptive ci_* block when ci_target > 0). A stale epoch-3 entry must
+    // never satisfy an epoch-4 lookup — same scenario, same bindings,
+    // disjoint on-disk identity.
+    EXPECT_EQ(kCodeEpoch, 4u);
+    const ScratchDir dir("cache_epoch4");
+    const ResultCache previous(dir.path(), /*code_epoch=*/3);
+    const ResultCache current(dir.path(), /*code_epoch=*/4);
+    const std::map<std::string, std::string> params{{"m", "6"}, {"density", "0.3"}};
+    const CacheKey old_key{"mc_density_point", previous.combined_epoch(0), params};
+    CachedResult stale;
+    stale.metrics = {{"p_k_mono", "0.25"}};
+    stale.report = "pre-adaptive shape\n";
+    previous.store(old_key, stale);
+
+    CacheKey new_key = old_key;
+    new_key.epoch = current.combined_epoch(0);
+    EXPECT_NE(new_key.epoch, old_key.epoch);
+    EXPECT_FALSE(current.lookup(new_key).has_value())
+        << "epoch-3 entries must read as misses under epoch 4";
+    EXPECT_NE(current.entry_path(new_key), previous.entry_path(old_key));
+}
+
+TEST(Cache, AdaptiveStoppingBindingsArePartOfThePointIdentity) {
+    // ci_target= and delta= change what mc_density_point computes (the
+    // stopping rule decides the trial count), so campaigns differing only
+    // in those bindings must occupy disjoint cache entries.
+    const ScratchDir dir("cache_adaptive");
+    const auto manifest_for = [](const std::string& ci_target, const std::string& delta) {
+        return parse_manifest(
+            R"({"name": "adaptive", "scenario": "mc_density_point",
+                "fixed": {"m": 6, "n": 6, "density": 0.3, "max_trials": 200,
+                          "ci_target": )" +
+                ci_target + R"(, "delta": )" + delta + R"(}})",
+            "test-manifest");
+    };
+    CampaignOptions options;
+    options.cache_dir = dir.path();
+
+    const CampaignOutcome tight = run_campaign(manifest_for("0.1", "0.05"), options);
+    EXPECT_EQ(tight.computed, 1u);
+    EXPECT_EQ(tight.failed, 0u);
+    const CampaignOutcome loose = run_campaign(manifest_for("0.2", "0.05"), options);
+    EXPECT_EQ(loose.computed, 1u);
+    EXPECT_EQ(loose.cached, 0u) << "ci_target= must be part of the cache identity";
+    const CampaignOutcome lax = run_campaign(manifest_for("0.1", "0.2"), options);
+    EXPECT_EQ(lax.computed, 1u);
+    EXPECT_EQ(lax.cached, 0u) << "delta= must be part of the cache identity";
+    // All three coexist; warm re-runs are pure hits with identical bytes.
+    const CampaignOutcome warm = run_campaign(manifest_for("0.1", "0.05"), options);
+    EXPECT_EQ(warm.cached, 1u);
+    EXPECT_EQ(warm.computed, 0u);
+    EXPECT_EQ(warm.to_json(manifest_for("0.1", "0.05")),
+              tight.to_json(manifest_for("0.1", "0.05")))
+        << "adaptive points must be cache-safe (warm == cold byte for byte)";
+
+    // Key-level: the bindings land in the hash.
+    const CacheKey a{"mc_density_point", kCodeEpoch,
+                     {{"m", "6"}, {"ci_target", "0.1"}, {"delta", "0.05"}}};
+    CacheKey b = a;
+    b.params["ci_target"] = "0.2";
+    EXPECT_NE(cache_hash(a), cache_hash(b));
+    CacheKey c = a;
+    c.params["delta"] = "0.2";
+    EXPECT_NE(cache_hash(a), cache_hash(c));
+}
+
+TEST(Campaign, ProgressStreamEmitsOneJsonLinePerPoint) {
+    const Manifest manifest = small_campaign_manifest();
+    const ScratchDir dir("camp_progress");
+    CampaignOptions options;
+    options.cache_dir = dir.path();
+
+    std::ostringstream cold_progress;
+    options.progress = &cold_progress;
+    const CampaignOutcome cold = run_campaign(manifest, options);
+    EXPECT_EQ(cold.computed, 4u);
+
+    const auto parse_lines = [](const std::string& text) {
+        std::vector<util::Json> records;
+        std::istringstream is(text);
+        std::string line;
+        while (std::getline(is, line)) {
+            if (!line.empty()) records.push_back(util::Json::parse(line));
+        }
+        return records;
+    };
+
+    std::vector<util::Json> cold_lines = parse_lines(cold_progress.str());
+    ASSERT_EQ(cold_lines.size(), 4u) << "one JSONL record per point";
+    std::vector<bool> seen(4, false);
+    for (const util::Json& record : cold_lines) {
+        ASSERT_TRUE(record.is_object());
+        const util::Json* index = record.find("index");
+        ASSERT_NE(index, nullptr);
+        const auto i = static_cast<std::size_t>(index->as_int());
+        ASSERT_LT(i, 4u);
+        EXPECT_FALSE(seen[i]) << "point " << i << " reported twice";
+        seen[i] = true;
+        EXPECT_EQ(record.find("status")->as_string(), "computed");
+        EXPECT_EQ(record.find("exit_code")->as_int(), 0);
+        EXPECT_TRUE(record.find("params")->is_object());
+        EXPECT_TRUE(record.find("metrics")->is_object());
+    }
+
+    // The warm run streams every point as a cache hit instead.
+    std::ostringstream warm_progress;
+    options.progress = &warm_progress;
+    const CampaignOutcome warm = run_campaign(manifest, options);
+    EXPECT_EQ(warm.computed, 0u);
+    const std::vector<util::Json> warm_lines = parse_lines(warm_progress.str());
+    ASSERT_EQ(warm_lines.size(), 4u);
+    for (const util::Json& record : warm_lines) {
+        EXPECT_EQ(record.find("status")->as_string(), "cached");
+    }
+}
+
+TEST(Report, RendersTheCriticalDensityAtlas) {
+    // Rendering is a pure function of the campaign JSON, so the atlas path
+    // is testable from a hand-written artifact: two rules x two topologies
+    // with a clean bracket, an unconverged one, a no-crossing curve, and a
+    // failed point.
+    const std::string artifact = R"({
+      "campaign": "atlas-test", "scenario": "mc_critical_density",
+      "description": "hand-written artifact",
+      "points": [
+        {"params": {"rule": "smp", "topology": "mesh"}, "exit_code": 0,
+         "metrics": {"found": true, "converged": true, "critical_lo": "0.55",
+                     "critical_hi": "0.6", "critical_mid": "0.575",
+                     "bracket_width": "0.05", "trials_total": "1200"}},
+        {"params": {"rule": "smp", "topology": "cordalis"}, "exit_code": 0,
+         "metrics": {"found": true, "converged": false, "critical_lo": "0.4",
+                     "critical_hi": "0.7", "critical_mid": "0.55",
+                     "bracket_width": "0.3", "trials_total": "800"}},
+        {"params": {"rule": "threshold-1", "topology": "mesh"}, "exit_code": 0,
+         "metrics": {"found": false, "converged": false, "trials_total": "300"}},
+        {"params": {"rule": "threshold-1", "topology": "cordalis"}, "exit_code": 2,
+         "metrics": {}}
+      ]})";
+
+    const std::string markdown =
+        render_report(artifact, "atlas-test", ReportFormat::Markdown);
+    EXPECT_NE(markdown.find("critical-density atlas"), std::string::npos);
+    EXPECT_NE(markdown.find("| rule | mesh | cordalis |"), std::string::npos);
+    EXPECT_NE(markdown.find("0.575 [0.55, 0.6]"), std::string::npos);
+    EXPECT_NE(markdown.find("0.55 [0.4, 0.7] (unconverged)"), std::string::npos);
+    EXPECT_NE(markdown.find("no crossing"), std::string::npos);
+    EXPECT_NE(markdown.find("failed"), std::string::npos);
+
+    const std::string json = render_report(artifact, "atlas-test", ReportFormat::Json);
+    const util::Json doc = util::Json::parse(json);
+    EXPECT_EQ(doc.find("kind")->as_string(), "critical_density_atlas");
+    EXPECT_EQ(doc.find("failed")->as_int(), 1);
+    const auto& rules = doc.find("rules")->as_array();
+    ASSERT_EQ(rules.size(), 2u);
+    EXPECT_EQ(rules[0].find("rule")->as_string(), "smp");
+    EXPECT_TRUE(rules[0].find("cells")->as_array()[0].find("found")->as_bool());
+    // Deterministic renderer: repeated renders are byte-identical.
+    EXPECT_EQ(render_report(artifact, "atlas-test", ReportFormat::Markdown), markdown);
+}
+
+TEST(Report, GenericCampaignsGetVaryingParamColumns) {
+    // End to end: run a real campaign, render its artifact. Only `density`
+    // varies across points, so it is the sole parameter column.
+    const Manifest manifest = small_campaign_manifest();
+    const ScratchDir dir("report_generic");
+    CampaignOptions options;
+    options.cache_dir = dir.path();
+    const CampaignOutcome outcome = run_campaign(manifest, options);
+    const std::string artifact = outcome.to_json(manifest);
+
+    const std::string markdown = render_report(artifact, "camp", ReportFormat::Markdown);
+    EXPECT_NE(markdown.find("camp — mc_density_point campaign"), std::string::npos);
+    // density varies by the grid, seed by per-point injection; the fixed
+    // bindings (m, n, trials, colors) must not become table columns.
+    EXPECT_NE(markdown.find("| density | seed |"), std::string::npos);
+    EXPECT_EQ(markdown.find("| m |"), std::string::npos)
+        << "constant bindings must not become table columns";
+    EXPECT_NE(markdown.find("p_k_mono"), std::string::npos);
+
+    const std::string json = render_report(artifact, "camp", ReportFormat::Json);
+    const util::Json doc = util::Json::parse(json);
+    EXPECT_EQ(doc.find("kind")->as_string(), "generic");
+    const auto& varying = doc.find("varying_params")->as_array();
+    ASSERT_EQ(varying.size(), 2u);
+    EXPECT_EQ(varying[0].as_string(), "density");
+    EXPECT_EQ(varying[1].as_string(), "seed");
+    EXPECT_EQ(doc.find("rows")->as_array().size(), 4u);
+
+    // Not-a-campaign inputs fail with an actionable message.
+    EXPECT_THROW(render_report("{", "broken", ReportFormat::Markdown),
+                 std::invalid_argument);
+    try {
+        render_report(R"({"some": "json"})", "broken", ReportFormat::Markdown);
+        FAIL() << "expected render_report to reject a non-campaign document";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("dynamo campaign"), std::string::npos);
+    }
 }
 
 TEST(Json, RoundTripAndDeterministicDump) {
