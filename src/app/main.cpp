@@ -9,10 +9,17 @@
 //   dynamo campaign <manifest.json>      expand x cache-or-compute x report
 //          [--force] [--workers=N] [--cache-dir=DIR] [--out=FILE]
 //          [--progress=FILE]             live JSONL: one line per completed point
+//          [--shard=K/N]                 run only points with index % N == K
+//          [--checkpoint=FILE]           crash-safe resume record (JSONL)
+//   dynamo merge <shard.json>... --out=FILE
+//                                        reassemble N shard artifacts into the
+//                                        byte-identical unsharded campaign JSON
+//   dynamo serve [--port=P] [--workers=N] [--cache-dir=DIR]
+//                                        HTTP/JSON campaign service (loopback)
 //   dynamo report <campaign.json>        render a campaign artifact as a
 //          [--format=markdown|json]      comparison table (atlas-aware)
 //          [--out=FILE]
-//   dynamo cache stats|clear [--cache-dir=DIR]
+//   dynamo cache stats|clear|merge [--cache-dir=DIR]
 //
 // The seed-era bench/example binaries are wrappers over the same registry
 // (app/compat_stub.cpp), so `bench_tab_thm1_mesh_bounds --max-dim=8` and
@@ -25,8 +32,11 @@
 #include <vector>
 
 #include "scenario/campaign.hpp"
+#include "scenario/merge.hpp"
 #include "scenario/report.hpp"
 #include "scenario/scenario.hpp"
+#include "service/http.hpp"
+#include "service/service.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -41,16 +51,28 @@ int usage(std::ostream& out, int code) {
            "  dynamo run <scenario> [--k=v ...]   run one scenario\n"
            "  dynamo campaign <manifest.json> [--force] [--workers=N (0 = hardware)]\n"
            "                  [--cache-dir=DIR] [--out=FILE] [--progress=FILE]\n"
+           "                  [--shard=K/N] [--checkpoint=FILE]\n"
            "                                      run an experiment manifest through\n"
            "                                      the content-addressed result cache\n"
            "                                      (--progress: live JSONL, one line\n"
-           "                                      per completed point)\n"
+           "                                      per completed point; --shard: own\n"
+           "                                      only points with index % N == K;\n"
+           "                                      --checkpoint: crash-safe resume)\n"
+           "  dynamo merge <shard.json>... --out=FILE\n"
+           "                                      reassemble shard artifacts into the\n"
+           "                                      byte-identical unsharded campaign\n"
+           "  dynamo serve [--port=P] [--workers=N] [--cache-dir=DIR]\n"
+           "                                      HTTP/JSON campaign service on\n"
+           "                                      127.0.0.1 (docs/serving.md)\n"
            "  dynamo report <campaign.json> [--format=markdown|json] [--out=FILE]\n"
            "                                      render a campaign artifact as a\n"
            "                                      comparison table (atlas-aware)\n"
            "  dynamo cache stats|clear [--cache-dir=DIR]\n"
+           "  dynamo cache merge <src-dir>... [--cache-dir=DST]\n"
+           "                                      copy entries from shard caches\n"
            "\n"
            "docs: docs/scenarios.md (catalog), docs/manifest-format.md (campaigns),\n"
+           "      docs/serving.md (shard/merge/resume + HTTP service),\n"
            "      docs/reproducing-the-paper.md (paper artifact -> command)\n";
     return code;
 }
@@ -99,12 +121,37 @@ int cmd_run(int argc, char** argv) {
     return scenario::run(*s, ctx);
 }
 
+/// Parses a --shard=K/N value. Throws std::invalid_argument on anything
+/// that is not two integers around one slash with K < N.
+void parse_shard_spec(const std::string& spec, unsigned& index, unsigned& count) {
+    const std::size_t slash = spec.find('/');
+    const auto parse_unsigned = [&spec](const std::string& text) -> unsigned {
+        if (text.empty()) throw std::invalid_argument("bad --shard '" + spec + "' (want K/N)");
+        unsigned value = 0;
+        for (const char c : text) {
+            if (c < '0' || c > '9')
+                throw std::invalid_argument("bad --shard '" + spec + "' (want K/N)");
+            value = value * 10 + static_cast<unsigned>(c - '0');
+        }
+        return value;
+    };
+    if (slash == std::string::npos)
+        throw std::invalid_argument("bad --shard '" + spec + "' (want K/N)");
+    index = parse_unsigned(spec.substr(0, slash));
+    count = parse_unsigned(spec.substr(slash + 1));
+    if (count == 0 || index >= count)
+        throw std::invalid_argument("bad --shard '" + spec + "': index must be < count");
+}
+
 int cmd_campaign(int argc, char** argv) {
-    const CliArgs args(argc - 1, argv + 1,
-                       CliGrammar{{"force"}, {"workers", "cache-dir", "out", "progress"}});
+    const CliArgs args(
+        argc - 1, argv + 1,
+        CliGrammar{{"force"},
+                   {"workers", "cache-dir", "out", "progress", "shard", "checkpoint"}});
     if (args.positional().size() != 1) {
         std::cerr << "usage: dynamo campaign <manifest.json> [--force] [--workers=N] "
-                     "[--cache-dir=DIR] [--out=FILE] [--progress=FILE]\n";
+                     "[--cache-dir=DIR] [--out=FILE] [--progress=FILE] [--shard=K/N] "
+                     "[--checkpoint=FILE]\n";
         return 2;
     }
     const scenario::Manifest manifest = scenario::load_manifest(args.positional()[0]);
@@ -112,6 +159,9 @@ int cmd_campaign(int argc, char** argv) {
     scenario::CampaignOptions options;
     options.force = args.get_flag("force");
     options.cache_dir = args.get_string("cache-dir", options.cache_dir);
+    if (const std::string shard = args.get_string("shard", ""); !shard.empty())
+        parse_shard_spec(shard, options.shard_index, options.shard_count);
+    options.checkpoint = args.get_string("checkpoint", "");
     std::ofstream progress;
     if (const std::string path = args.get_string("progress", ""); !path.empty()) {
         progress.open(path, std::ios::binary | std::ios::trunc);
@@ -144,6 +194,75 @@ int cmd_campaign(int argc, char** argv) {
     // warm cache computes zero points.
     std::cout << outcome.summary(manifest) << "\n";
     return outcome.failed == 0 ? 0 : 1;
+}
+
+int cmd_merge(int argc, char** argv) {
+    const CliArgs args(argc - 1, argv + 1, CliGrammar{{}, {"out"}});
+    if (args.positional().empty()) {
+        std::cerr << "usage: dynamo merge <shard.json>... [--out=FILE]\n";
+        return 2;
+    }
+    std::vector<scenario::ShardArtifact> shards;
+    shards.reserve(args.positional().size());
+    for (const std::string& path : args.positional()) {
+        std::ifstream in(path, std::ios::binary);
+        DYNAMO_REQUIRE(static_cast<bool>(in), "cannot open shard artifact '" + path + "'");
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        shards.push_back({path, buf.str()});
+    }
+    const std::string merged = scenario::merge_campaign_artifacts(shards);
+    const std::string out_path = args.get_string("out", "");
+    if (out_path.empty()) {
+        std::cout << merged;
+    } else {
+        std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+        DYNAMO_REQUIRE(static_cast<bool>(out),
+                       "cannot write merged campaign '" + out_path + "'");
+        out << merged;
+    }
+    std::cout << "merged " << shards.size() << " shard artifact(s)\n";
+    return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+    const CliArgs args(argc - 1, argv + 1, CliGrammar{{}, {"port", "workers", "cache-dir"}});
+    if (!args.positional().empty()) {
+        std::cerr << "usage: dynamo serve [--port=P (0 = ephemeral)] [--workers=N] "
+                     "[--cache-dir=DIR]\n";
+        return 2;
+    }
+    const std::int64_t port_arg = args.get_int("port", 0);
+    DYNAMO_REQUIRE(port_arg >= 0 && port_arg <= 65535, "--port must be in [0, 65535]");
+
+    const std::int64_t workers_arg = args.get_int("workers", 0);
+    const unsigned workers =
+        workers_arg > 0 ? static_cast<unsigned>(workers_arg) : ThreadPool::default_threads();
+    std::optional<ThreadPool> pool;
+    service::ServiceOptions service_options;
+    service_options.cache_dir = args.get_string("cache-dir", service_options.cache_dir);
+    if (workers > 1) {
+        pool.emplace(workers);
+        service_options.pool = &*pool;
+    }
+
+    service::HttpServer server(static_cast<std::uint16_t>(port_arg));
+    service::CampaignService service(std::move(service_options));
+    // CI and scripts scrape the port from this exact line (--port=0 binds
+    // an ephemeral one), so keep it first and flushed.
+    std::cout << "dynamo serve: listening on http://127.0.0.1:" << server.port() << "\n"
+              << std::flush;
+    server.serve_forever([&](const service::HttpRequest& request) -> service::HttpResponse {
+        if (request.target == "/shutdown") {
+            if (request.method != "POST")
+                return {405, "application/json", "{\"error\": \"use POST\"}\n"};
+            server.stop();
+            return {200, "application/json", "{\"status\": \"stopping\"}\n"};
+        }
+        return service.handle(request);
+    });
+    std::cout << "dynamo serve: shut down\n";
+    return 0;
 }
 
 int cmd_report(int argc, char** argv) {
@@ -186,16 +305,27 @@ int cmd_report(int argc, char** argv) {
 int cmd_cache(int argc, char** argv) {
     const CliArgs args(argc - 1, argv + 1, CliGrammar{{}, {"cache-dir"}});
     const std::string dir = args.get_string("cache-dir", ".dynamo-cache");
-    if (args.positional().size() != 1 ||
-        (args.positional()[0] != "stats" && args.positional()[0] != "clear")) {
-        std::cerr << "usage: dynamo cache stats|clear [--cache-dir=DIR]\n";
+    const auto& positional = args.positional();
+    const std::string verb = positional.empty() ? "" : positional[0];
+    const bool arity_ok = verb == "merge" ? positional.size() >= 2 : positional.size() == 1;
+    if (!arity_ok || (verb != "stats" && verb != "clear" && verb != "merge")) {
+        std::cerr << "usage: dynamo cache stats|clear [--cache-dir=DIR]\n"
+                     "       dynamo cache merge <src-dir>... [--cache-dir=DST]\n";
         return 2;
     }
     const scenario::ResultCache cache(dir);
-    if (args.positional()[0] == "stats") {
+    if (verb == "stats") {
         const auto stats = cache.stats();
         std::cout << "cache " << dir << ": " << stats.entries << " entries, " << stats.bytes
                   << " bytes (code epoch " << cache.code_epoch() << ")\n";
+        return 0;
+    }
+    if (verb == "merge") {
+        std::size_t copied = 0;
+        for (std::size_t i = 1; i < positional.size(); ++i)
+            copied += cache.merge_from(positional[i]);
+        std::cout << "cache " << dir << ": merged " << copied << " entries from "
+                  << positional.size() - 1 << " source(s)\n";
         return 0;
     }
     std::cout << "cache " << dir << ": removed " << cache.clear() << " entries\n";
@@ -212,6 +342,8 @@ int main(int argc, char** argv) {
         if (cmd == "describe") return cmd_describe(argc, argv);
         if (cmd == "run") return cmd_run(argc, argv);
         if (cmd == "campaign") return cmd_campaign(argc, argv);
+        if (cmd == "merge") return cmd_merge(argc, argv);
+        if (cmd == "serve") return cmd_serve(argc, argv);
         if (cmd == "report") return cmd_report(argc, argv);
         if (cmd == "cache") return cmd_cache(argc, argv);
         if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(std::cout, 0);

@@ -1,10 +1,16 @@
 // dynamo/scenario/cache.cpp
 //
 // Cache entry layout: one JSON file per point (see cache.hpp for the
-// keying scheme). Stores are atomic (temp file + rename) so a campaign
-// interrupted mid-write never leaves a truncated entry behind.
+// keying scheme). Stores are atomic (unique per-writer temp file +
+// rename) so a campaign interrupted mid-write never leaves a truncated
+// entry behind, and concurrent writers — pool threads of one campaign or
+// the shards of a distributed one sharing the directory — can never
+// interleave bytes or observe each other's partial writes.
 #include "scenario/cache.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -98,6 +104,54 @@ std::optional<CachedResult> ResultCache::lookup(const CacheKey& key) const {
     return result;
 }
 
+namespace {
+
+/// Unique temp-file name for a store targeting `path`: pid distinguishes
+/// processes sharing a cache directory, the counter distinguishes threads
+/// within one. A fixed `path + ".tmp"` (the pre-fix scheme) let N racers
+/// write the SAME temp file and interleave their bytes before the rename
+/// published the mixture — the torn-cache-write bug.
+std::string unique_temp_name(const std::string& path) {
+    static std::atomic<unsigned long long> counter{0};
+    return path + ".tmp." + std::to_string(static_cast<long long>(::getpid())) + "." +
+           std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+/// Whole-file read; empty optional when the file cannot be read.
+std::optional<std::string> slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/// Stage `payload` into a unique temp file next to `path` and publish it
+/// with an atomic rename. When the rename fails but a racer already
+/// published byte-identical content, that counts as success (whoever won,
+/// the entry is the right bytes).
+void atomic_publish(const std::string& path, const std::string& payload) {
+    const std::string tmp = unique_temp_name(path);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        DYNAMO_REQUIRE(static_cast<bool>(out), "cannot write cache entry '" + tmp + "'");
+        out << payload;
+        out.flush();
+        DYNAMO_REQUIRE(static_cast<bool>(out), "short write on cache entry '" + tmp + "'");
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);  // POSIX rename replaces atomically
+    if (ec) {
+        const std::optional<std::string> existing = slurp(path);
+        std::error_code ignored;
+        fs::remove(tmp, ignored);
+        DYNAMO_REQUIRE(existing.has_value() && *existing == payload,
+                       "cannot publish cache entry '" + path + "': " + ec.message());
+    }
+}
+
+} // namespace
+
 void ResultCache::store(const CacheKey& key, const CachedResult& result) const {
     fs::create_directories(dir_);
     JsonObject params;
@@ -112,14 +166,7 @@ void ResultCache::store(const CacheKey& key, const CachedResult& result) const {
     record.emplace_back("report", Json(result.report));
     record.emplace_back("exit_code", Json(static_cast<std::int64_t>(result.exit_code)));
 
-    const std::string path = entry_path(key);
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        DYNAMO_REQUIRE(static_cast<bool>(out), "cannot write cache entry '" + tmp + "'");
-        out << Json(std::move(record)).dump(2) << '\n';
-    }
-    fs::rename(tmp, path);
+    atomic_publish(entry_path(key), Json(std::move(record)).dump(2) + "\n");
 }
 
 namespace {
@@ -162,6 +209,28 @@ ResultCache::Stats ResultCache::stats() const {
         s.bytes += static_cast<std::uint64_t>(entry.file_size());
     }
     return s;
+}
+
+std::size_t ResultCache::merge_from(const std::string& src_dir) const {
+    DYNAMO_REQUIRE(!src_dir.empty(), "cache merge source directory must not be empty");
+    if (!fs::exists(src_dir)) return 0;
+    std::error_code eq_ec;
+    DYNAMO_REQUIRE(!fs::equivalent(src_dir, dir_, eq_ec),
+                   "cache merge source and destination are the same directory");
+    std::size_t copied = 0;
+    for (const auto& entry : fs::directory_iterator(src_dir)) {
+        const std::string name = entry.path().filename().string();
+        if (!entry.is_regular_file() || !is_cache_entry_name(name)) continue;
+        const std::string dest = dir_ + "/" + name;
+        if (fs::exists(dest)) continue;  // content-addressed: already equivalent
+        const std::optional<std::string> payload = slurp(entry.path().string());
+        DYNAMO_REQUIRE(payload.has_value(),
+                       "cannot read cache entry '" + entry.path().string() + "'");
+        fs::create_directories(dir_);
+        atomic_publish(dest, *payload);
+        ++copied;
+    }
+    return copied;
 }
 
 std::size_t ResultCache::clear() const {

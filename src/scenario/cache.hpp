@@ -80,8 +80,23 @@ class ResultCache {
     /// stored scenario/epoch/params match the key exactly.
     std::optional<CachedResult> lookup(const CacheKey& key) const;
 
-    /// Writes (atomically: temp file + rename) the result under the key.
+    /// Writes the result under the key, safely under CONCURRENT writers
+    /// (threads of this process or other processes sharing the directory,
+    /// e.g. campaign shards): each writer stages into its own unique temp
+    /// file (pid + counter suffix) and publishes with an atomic rename, so
+    /// readers never observe a torn entry and two racers can never
+    /// interleave bytes in one temp file. A racer winning the rename is
+    /// fine — entries are content-addressed, so the survivor is the same
+    /// bytes (and on platforms where rename refuses to replace, an
+    /// already-present byte-identical entry counts as success).
     void store(const CacheKey& key, const CachedResult& result) const;
+
+    /// Copies every cache entry from `src_dir` that is absent here (same
+    /// atomic staging as store); present entries are kept — content
+    /// addressing makes them equivalent. Returns how many were copied.
+    /// This is how separate per-shard cache directories combine; shards
+    /// sharing one directory need no merge at all.
+    std::size_t merge_from(const std::string& src_dir) const;
 
     /// Path a key resolves to (diagnostics, tests).
     std::string entry_path(const CacheKey& key) const;

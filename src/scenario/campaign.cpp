@@ -1,13 +1,15 @@
 // dynamo/scenario/campaign.cpp
 //
 // Cache-or-compute execution of expanded manifest points (see campaign.hpp
-// for the determinism contract).
+// for the determinism, crash-safety, and sharding contracts).
 #include "scenario/campaign.hpp"
 
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 
+#include "scenario/checkpoint.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
 
@@ -39,22 +41,68 @@ CachedResult compute_point(const Scenario& scenario, const PointSpec& point) {
     return result;
 }
 
-/// One progress JSONL line. The stream is shared across pool workers, so
-/// callers serialize through a mutex; each line is flushed immediately so
-/// `tail -f` of a progress file tracks the campaign live.
-void emit_progress(std::ostream& out, std::size_t index, const char* status,
-                   const CampaignPoint& point) {
-    JsonObject params;
-    for (const auto& [k, v] : point.spec.params) params.emplace_back(k, Json(v));
-    JsonObject metrics;
-    for (const auto& [k, v] : point.result.metrics) metrics.emplace_back(k, Json(v));
-    JsonObject line;
-    line.emplace_back("index", Json(static_cast<std::uint64_t>(index)));
-    line.emplace_back("status", Json(std::string(status)));
-    line.emplace_back("exit_code", Json(static_cast<std::int64_t>(point.result.exit_code)));
-    line.emplace_back("params", Json(std::move(params)));
-    line.emplace_back("metrics", Json(std::move(metrics)));
-    out << Json(std::move(line)).dump(0) << "\n" << std::flush;
+/// The ONE serialized progress sink both campaign passes write through.
+/// Every line is emitted under the mutex and flushed immediately (so
+/// `tail -f` of a progress file tracks the campaign live, and concurrent
+/// pool workers can never interleave bytes of two lines), and the stream
+/// is flushed once more on drop, so a process exiting right after the
+/// last point can never leave a truncated final line behind.
+class ProgressEmitter {
+  public:
+    explicit ProgressEmitter(std::ostream* out) : out_(out) {}
+    ~ProgressEmitter() {
+        if (out_ != nullptr) out_->flush();
+    }
+    ProgressEmitter(const ProgressEmitter&) = delete;
+    ProgressEmitter& operator=(const ProgressEmitter&) = delete;
+
+    void emit(std::size_t index, const char* status, const CampaignPoint& point) {
+        if (out_ == nullptr) return;
+        JsonObject params;
+        for (const auto& [k, v] : point.spec.params) params.emplace_back(k, Json(v));
+        JsonObject metrics;
+        for (const auto& [k, v] : point.result.metrics) metrics.emplace_back(k, Json(v));
+        JsonObject line;
+        line.emplace_back("index", Json(static_cast<std::uint64_t>(index)));
+        line.emplace_back("status", Json(std::string(status)));
+        line.emplace_back("exit_code", Json(static_cast<std::int64_t>(point.result.exit_code)));
+        line.emplace_back("params", Json(std::move(params)));
+        line.emplace_back("metrics", Json(std::move(metrics)));
+        const std::string rendered = Json(std::move(line)).dump(0);
+        const std::lock_guard<std::mutex> lock(mutex_);
+        *out_ << rendered << "\n" << std::flush;
+    }
+
+  private:
+    std::ostream* out_;
+    std::mutex mutex_;
+};
+
+/// Fingerprint of the campaign a checkpoint belongs to: scenario name,
+/// combined epoch, shard layout, and every expanded point's canonical
+/// cache-key string — any edit to the manifest (grid, seed, repetitions,
+/// fixed bindings) lands in some point's canonical params and moves the
+/// fingerprint, as does an epoch bump or a different shard split.
+std::uint64_t campaign_fingerprint(const std::string& scenario_name, int epoch,
+                                   unsigned shard_index, unsigned shard_count,
+                                   const std::vector<PointSpec>& specs) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](const std::string& s) {
+        for (const unsigned char c : s) {
+            h ^= c;
+            h *= 0x100000001b3ULL;
+        }
+        h ^= 0xff;  // separator: "ab" + "c" never collides with "a" + "bc"
+        h *= 0x100000001b3ULL;
+    };
+    mix(scenario_name);
+    mix(std::to_string(epoch));
+    mix(std::to_string(shard_index));
+    mix(std::to_string(shard_count));
+    for (const PointSpec& spec : specs) {
+        mix(canonical_key_string(CacheKey{scenario_name, epoch, spec.params}));
+    }
+    return h;
 }
 
 } // namespace
@@ -62,55 +110,91 @@ void emit_progress(std::ostream& out, std::size_t index, const char* status,
 CampaignOutcome run_campaign(const Manifest& manifest, const CampaignOptions& options) {
     const Scenario* scenario = find(manifest.scenario);
     DYNAMO_REQUIRE(scenario != nullptr, "manifest scenario vanished from the registry");
+    DYNAMO_REQUIRE(options.shard_count >= 1, "shard_count must be at least 1");
+    DYNAMO_REQUIRE(options.shard_index < options.shard_count,
+                   "shard_index " + std::to_string(options.shard_index) +
+                       " is out of range for shard_count " +
+                       std::to_string(options.shard_count));
     const ResultCache cache(options.cache_dir, options.code_epoch);
     const int epoch = cache.combined_epoch(scenario->epoch);
 
+    // Expansion is ALWAYS that of the full manifest: global indices (and
+    // with them the injected RNG substreams) must not depend on the shard
+    // split, or shard results would diverge from an unsharded run.
     const std::vector<PointSpec> specs = expand(manifest);
     CampaignOutcome outcome;
-    outcome.points.resize(specs.size());
+    outcome.total_points = specs.size();
+    outcome.shard_index = options.shard_index;
+    outcome.shard_count = options.shard_count;
+    for (const PointSpec& spec : specs) {
+        if (spec.index % options.shard_count != options.shard_index) continue;
+        CampaignPoint point;
+        point.spec = spec;
+        outcome.points.push_back(std::move(point));
+    }
+
+    std::unique_ptr<CampaignCheckpoint> checkpoint;
+    if (!options.checkpoint.empty()) {
+        checkpoint = std::make_unique<CampaignCheckpoint>(
+            options.checkpoint,
+            campaign_fingerprint(manifest.scenario, epoch, options.shard_index,
+                                 options.shard_count, specs),
+            options.shard_index, options.shard_count, specs.size());
+        outcome.resumed = checkpoint->resumed();
+    }
+
+    ProgressEmitter progress(options.progress);
 
     // Pass 1 (serial): satisfy points from the cache, collect the misses.
-    std::vector<std::size_t> missing;
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-        CampaignPoint& point = outcome.points[i];
-        point.spec = specs[i];
-        if (!options.force) {
-            const CacheKey key{manifest.scenario, epoch, specs[i].params};
+    // A checkpointed point is served from the cache even under --force —
+    // resume means "keep the work already banked". Settled cache hits the
+    // checkpoint does not know yet are recorded, so a later --force
+    // resume keeps them too.
+    std::vector<std::size_t> missing;  // slots into outcome.points
+    for (std::size_t slot = 0; slot < outcome.points.size(); ++slot) {
+        CampaignPoint& point = outcome.points[slot];
+        const CacheKey key{manifest.scenario, epoch, point.spec.params};
+        const std::uint64_t hash = cache_hash(key);
+        const bool settled =
+            checkpoint != nullptr && checkpoint->is_settled(point.spec.index, hash);
+        if (!options.force || settled) {
             if (auto hit = cache.lookup(key)) {
                 point.result = std::move(*hit);
                 point.from_cache = true;
-                if (options.progress != nullptr)
-                    emit_progress(*options.progress, i, "cached", point);
+                if (checkpoint != nullptr && point.result.exit_code == 0)
+                    checkpoint->mark_settled(point.spec.index, hash);
+                progress.emit(point.spec.index, "cached", point);
                 continue;
             }
         }
-        missing.push_back(i);
+        missing.push_back(slot);
     }
 
     // Pass 2: compute the misses across the pool. Each point writes only
-    // its own slot; grain 1 because points are coarse units of work. The
-    // progress stream is the one shared sink, serialized by a mutex.
-    std::mutex progress_mutex;
+    // its own slot; grain 1 because points are coarse units of work. Every
+    // SUCCESSFUL point is stored (and checkpointed) the moment it settles,
+    // inside this pass — persisting used to wait for a serial pass after
+    // the pool drained, so a campaign killed at point k of n lost all k
+    // computed results; now it warm-starts with exactly k cache hits.
+    // Failed points are not cached — a re-run retries them instead of
+    // replaying the error. The cache store is concurrency-safe (unique
+    // per-writer temp names), so workers need no store mutex.
     parallel_for_blocks(options.pool, missing.size(), 1, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t j = lo; j < hi; ++j) {
             CampaignPoint& point = outcome.points[missing[j]];
             point.result = compute_point(*scenario, point.spec);
-            if (options.progress != nullptr) {
-                const std::lock_guard<std::mutex> lock(progress_mutex);
-                emit_progress(*options.progress, missing[j],
-                              point.result.exit_code == 0 ? "computed" : "failed", point);
+            if (point.result.exit_code == 0) {
+                const CacheKey key{manifest.scenario, epoch, point.spec.params};
+                cache.store(key, point.result);
+                if (checkpoint != nullptr)
+                    checkpoint->mark_settled(point.spec.index, cache_hash(key));
             }
+            progress.emit(point.spec.index,
+                          point.result.exit_code == 0 ? "computed" : "failed", point);
         }
     });
 
-    // Pass 3 (serial): store fresh successes, tally. Failed points are
-    // not cached — a re-run retries them instead of replaying the error.
-    for (const std::size_t i : missing) {
-        const CampaignPoint& point = outcome.points[i];
-        if (point.result.exit_code == 0) {
-            cache.store(CacheKey{manifest.scenario, epoch, point.spec.params}, point.result);
-        }
-    }
+    // Pass 3 (serial): tally.
     for (const CampaignPoint& point : outcome.points) {
         if (point.from_cache) {
             ++outcome.cached;
@@ -122,15 +206,26 @@ CampaignOutcome run_campaign(const Manifest& manifest, const CampaignOptions& op
     return outcome;
 }
 
-std::string CampaignOutcome::to_json(const Manifest& manifest) const {
+std::string render_campaign_json(const CampaignHeader& header,
+                                 const std::vector<CampaignPoint>& points,
+                                 unsigned shard_index, unsigned shard_count,
+                                 std::size_t total_points) {
+    const bool sharded = shard_count > 1;
     JsonObject root;
-    root.reserve(6);  // also sidesteps a GCC-12 -Warray-bounds false positive
-    root.emplace_back("campaign", Json(manifest.name));
-    root.emplace_back("scenario", Json(manifest.scenario));
-    if (!manifest.description.empty())
-        root.emplace_back("description", Json(manifest.description));
-    root.emplace_back("repetitions", Json(static_cast<std::uint64_t>(manifest.repetitions)));
-    root.emplace_back("seed", Json(static_cast<std::uint64_t>(manifest.seed)));
+    root.reserve(8);  // also sidesteps a GCC-12 -Warray-bounds false positive
+    root.emplace_back("campaign", Json(header.name));
+    root.emplace_back("scenario", Json(header.scenario));
+    if (!header.description.empty())
+        root.emplace_back("description", Json(header.description));
+    root.emplace_back("repetitions", Json(static_cast<std::uint64_t>(header.repetitions)));
+    root.emplace_back("seed", Json(static_cast<std::uint64_t>(header.seed)));
+    if (sharded) {
+        JsonObject shard;
+        shard.emplace_back("index", Json(static_cast<std::uint64_t>(shard_index)));
+        shard.emplace_back("count", Json(static_cast<std::uint64_t>(shard_count)));
+        shard.emplace_back("total_points", Json(static_cast<std::uint64_t>(total_points)));
+        root.emplace_back("shard", Json(std::move(shard)));
+    }
     JsonArray point_records;
     point_records.reserve(points.size());
     for (const CampaignPoint& point : points) {
@@ -139,6 +234,11 @@ std::string CampaignOutcome::to_json(const Manifest& manifest) const {
         JsonObject metrics;
         for (const auto& [k, v] : point.result.metrics) metrics.emplace_back(k, Json(v));
         JsonObject record;
+        // The global expansion index only appears in shard artifacts — it
+        // is what the merge validates the interleave against; the
+        // unsharded artifact keeps its classic (pre-shard) shape.
+        if (sharded)
+            record.emplace_back("index", Json(static_cast<std::uint64_t>(point.spec.index)));
         record.emplace_back("params", Json(std::move(params)));
         record.emplace_back("metrics", Json(std::move(metrics)));
         record.emplace_back("exit_code", Json(static_cast<std::int64_t>(point.result.exit_code)));
@@ -152,10 +252,21 @@ std::string CampaignOutcome::to_json(const Manifest& manifest) const {
     return Json(std::move(root)).dump(2) + "\n";
 }
 
+std::string CampaignOutcome::to_json(const Manifest& manifest) const {
+    const CampaignHeader header{manifest.name, manifest.scenario, manifest.description,
+                                manifest.repetitions, manifest.seed};
+    return render_campaign_json(header, points, shard_index, shard_count, total_points);
+}
+
 std::string CampaignOutcome::summary(const Manifest& manifest) const {
     std::ostringstream os;
-    os << "campaign " << manifest.name << ": " << points.size() << " points, " << computed
-       << " computed, " << cached << " cached, " << failed << " failed";
+    os << "campaign " << manifest.name;
+    if (shard_count > 1) os << " [shard " << shard_index << "/" << shard_count << "]";
+    os << ": " << points.size();
+    if (shard_count > 1) os << "/" << total_points;
+    os << " points, " << computed << " computed, " << cached << " cached, " << failed
+       << " failed";
+    if (resumed > 0) os << " (" << resumed << " checkpointed)";
     return os.str();
 }
 

@@ -11,9 +11,30 @@
 // nothing time- or thread-dependent enters the report. Hence serial ==
 // pooled bit-identical, and a fully cached re-run reproduces the computed
 // run's JSON byte for byte (cache provenance is reported separately).
+//
+// Crash-safety contract (the two bugs this layer used to have, both
+// test-enforced in tests/test_service.cpp):
+//   * each successful point is persisted to the cache THE MOMENT it
+//     settles, inside the compute pass — a campaign killed after m
+//     successful points warm-starts with exactly m cache hits, not zero
+//     (results used to be stored in a serial pass after the whole pool
+//     drained, so an interrupt lost everything);
+//   * cache stores are safe under concurrent writers (unique per-writer
+//     temp names; see scenario/cache.hpp), so shards of one campaign may
+//     share a cache directory.
+//
+// Distribution: `shard_index` / `shard_count` restrict a run to the
+// points whose EXPANSION index i satisfies i % shard_count == shard_index
+// (the deterministic decomposition the sharded search driver uses).
+// Expansion — and therefore every point's parameters and injected RNG
+// substream — is always that of the full manifest, so a shard computes
+// exactly the same results it would in an unsharded run, and
+// merge_campaign_artifacts (scenario/merge.hpp) reassembles N shard
+// reports into the byte-identical unsharded campaign JSON.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -33,31 +54,69 @@ struct CampaignOptions {
     /// "exit_code", "params", "metrics"} — flushed as each point lands, so
     /// a tail -f of the file tracks a long campaign. Lines appear in
     /// COMPLETION order (pool scheduling), not expansion order; the
-    /// campaign JSON remains the deterministic artifact.
+    /// campaign JSON remains the deterministic artifact. Both the cached
+    /// pass and the compute pass emit through one mutex-serialized,
+    /// flush-on-drop emitter, so lines never interleave or truncate.
     std::ostream* progress = nullptr;
+    /// Deterministic shard of the expanded points this run owns: index i
+    /// belongs to shard i % shard_count. The default 0/1 owns everything
+    /// (the unsharded campaign). shard_index must be < shard_count.
+    unsigned shard_index = 0;
+    unsigned shard_count = 1;
+    /// Optional crash-safe checkpoint file (scenario/checkpoint.hpp):
+    /// settled points are appended as they land, and a resumed run —
+    /// even under --force — serves checkpointed points from the cache
+    /// instead of recomputing them. Empty = no checkpoint.
+    std::string checkpoint;
 };
 
 struct CampaignPoint {
-    PointSpec spec;
+    PointSpec spec;  ///< spec.index is the GLOBAL expansion index
     CachedResult result;
     bool from_cache = false;
 };
 
+/// The manifest-derived header fields every campaign artifact repeats.
+/// Extracted so merged shard reports serialize through exactly the code
+/// path an unsharded run uses (byte-identity by construction).
+struct CampaignHeader {
+    std::string name;
+    std::string scenario;
+    std::string description;
+    std::uint64_t repetitions = 1;
+    std::uint64_t seed = 0;
+};
+
+/// The one campaign-JSON serializer (used by CampaignOutcome::to_json and
+/// by the shard merge). shard_count > 1 additionally records the shard
+/// layout and each point's global index; shard_count == 1 emits the
+/// classic unsharded artifact, byte-identical to the pre-shard format.
+std::string render_campaign_json(const CampaignHeader& header,
+                                 const std::vector<CampaignPoint>& points,
+                                 unsigned shard_index, unsigned shard_count,
+                                 std::size_t total_points);
+
 struct CampaignOutcome {
-    std::vector<CampaignPoint> points;  ///< expansion order
+    std::vector<CampaignPoint> points;  ///< owned points, expansion order
     std::size_t computed = 0;
     std::size_t cached = 0;
     std::size_t failed = 0;  ///< points whose scenario threw or returned non-zero
+    std::size_t total_points = 0;  ///< full expansion size (all shards)
+    std::size_t resumed = 0;       ///< points the checkpoint carried in as settled
+    unsigned shard_index = 0;
+    unsigned shard_count = 1;
 
     /// The deterministic campaign report (see header comment).
     std::string to_json(const Manifest& manifest) const;
-    /// One-line human summary: point/computed/cached/failed counts.
+    /// One-line human summary: point/computed/cached/failed counts (plus
+    /// the shard slice when sharded).
     std::string summary(const Manifest& manifest) const;
 };
 
-/// Run the campaign. Throws only on infrastructure errors (unwritable
-/// cache); per-point scenario exceptions are captured into that point's
-/// report with exit_code 2 and counted in `failed`.
+/// Run the campaign (or one shard of it). Throws only on infrastructure
+/// errors (unwritable cache or checkpoint, a checkpoint belonging to a
+/// different campaign); per-point scenario exceptions are captured into
+/// that point's report with exit_code 2 and counted in `failed`.
 CampaignOutcome run_campaign(const Manifest& manifest, const CampaignOptions& options = {});
 
 } // namespace dynamo::scenario

@@ -1,0 +1,39 @@
+// dynamo/scenario/merge.hpp
+//
+// Reassembly of sharded campaign artifacts: N shard reports (produced by
+// `dynamo campaign --shard=K/N`, all from the SAME manifest) merge into
+// the campaign JSON an unsharded run of that manifest would have written,
+// byte for byte. Byte-identity is by construction, not by luck: shard
+// artifacts carry each point's global expansion index, the merge
+// interleaves points back into expansion order (point i lives in shard
+// i % N at position i / N), and the result is re-serialized through
+// render_campaign_json — the one serializer the unsharded campaign itself
+// uses. util/json preserves number lexemes, so parsed metrics survive the
+// round trip exactly.
+//
+// Validation is loud: inconsistent headers, a missing or duplicated
+// shard, a wrong point count, or an index that contradicts the interleave
+// all throw std::invalid_argument naming the offending artifact — a merge
+// must never quietly produce a report that no single run would have
+// written.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dynamo::scenario {
+
+/// One parsed shard artifact, tagged with where it came from (for error
+/// messages).
+struct ShardArtifact {
+    std::string source;  ///< file name or description, used in diagnostics
+    std::string text;    ///< the artifact's JSON text
+};
+
+/// Merges shard campaign artifacts into the unsharded campaign JSON.
+/// Accepts either all N shards of an N-way split (any order) or a single
+/// unsharded artifact (which round-trips unchanged). Throws
+/// std::invalid_argument on any inconsistency.
+std::string merge_campaign_artifacts(const std::vector<ShardArtifact>& shards);
+
+} // namespace dynamo::scenario

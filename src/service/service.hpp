@@ -1,0 +1,125 @@
+// dynamo/service/service.hpp
+//
+// The campaign service behind `dynamo serve`: POST a manifest, get a job
+// id back immediately (202), watch per-point progress as JSONL, fetch the
+// finished campaign report. The service wraps the same run_campaign the
+// CLI uses, against the same shared result cache — so a manifest whose
+// points are already cached answers essentially instantly (the campaign's
+// cache pass satisfies them without touching the pool), and whatever the
+// service computes warms the cache for later CLI runs and vice versa.
+//
+// Concurrency model: HTTP routing is synchronous and cheap; actual
+// campaigns run on ONE background runner thread, FIFO in submission
+// order, sharing a caller-provided ThreadPool for intra-campaign
+// parallelism. One campaign at a time keeps the pool's worker budget
+// honest (two concurrent campaigns would oversubscribe it) and makes job
+// ordering trivial to reason about; the queue provides the elasticity.
+//
+// Endpoints (all JSON unless noted):
+//   GET  /healthz                 -> 200 {"status": "ok", ...}
+//   POST /campaigns   (manifest)  -> 202 {"id", "status", "points"} | 400
+//   GET  /campaigns               -> 200 {"campaigns": [summaries]}
+//   GET  /campaigns/<id>          -> 200 {"id", "status", "points",
+//                                         "settled", ...} | 404
+//   GET  /campaigns/<id>/progress -> 200 JSONL snapshot (may be partial)
+//   GET  /campaigns/<id>/report   -> 200 campaign JSON | 409 until done
+//
+// CampaignService::handle() is pure request -> response routing with no
+// socket anywhere in sight, so the whole surface is unit-testable in
+// process; `dynamo serve` is just HttpServer + this class.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/campaign.hpp"
+#include "service/http.hpp"
+#include "util/parallel.hpp"
+
+namespace dynamo::service {
+
+struct ServiceOptions {
+    std::string cache_dir = ".dynamo-cache";
+    ThreadPool* pool = nullptr;  ///< intra-campaign parallelism; may be null
+};
+
+class CampaignService {
+  public:
+    explicit CampaignService(ServiceOptions options);
+    /// Drains the queue flag-first: jobs still queued at destruction are
+    /// abandoned (their points are not lost — anything computed is in the
+    /// cache); the in-flight campaign is joined to completion.
+    ~CampaignService();
+    CampaignService(const CampaignService&) = delete;
+    CampaignService& operator=(const CampaignService&) = delete;
+
+    /// Route one request. Never throws: routing errors become 4xx, job
+    /// failures are reported in the job's status.
+    HttpResponse handle(const HttpRequest& request);
+
+    /// True once every submitted job has left the queue and finished
+    /// (test/polling convenience; the HTTP surface exposes the same via
+    /// per-job status).
+    bool idle() const;
+
+  private:
+    enum class JobStatus { kQueued, kRunning, kDone, kFailed };
+
+    /// A thread-safe accumulating streambuf: the runner's campaign writes
+    /// progress JSONL into it (through ProgressEmitter, line-at-a-time),
+    /// HTTP threads snapshot it live.
+    class ProgressBuffer : public std::streambuf {
+      public:
+        std::string snapshot() const;
+
+      protected:
+        int_type overflow(int_type ch) override;
+        std::streamsize xsputn(const char* s, std::streamsize n) override;
+
+      private:
+        mutable std::mutex mutex_;
+        std::string data_;
+    };
+
+    struct Job {
+        std::uint64_t id = 0;
+        scenario::Manifest manifest;
+        std::size_t points = 0;  ///< expansion size
+        JobStatus status = JobStatus::kQueued;
+        ProgressBuffer progress;
+        std::string report;   ///< campaign JSON once done
+        std::string summary;  ///< one-line summary once done
+        std::string error;    ///< infrastructure error when failed
+        scenario::CampaignOutcome outcome;  ///< counts, valid once done
+    };
+
+    HttpResponse submit(const std::string& body);
+    HttpResponse list_jobs() const;
+    HttpResponse job_status(std::uint64_t id) const;
+    HttpResponse job_progress(std::uint64_t id) const;
+    HttpResponse job_report(std::uint64_t id) const;
+
+    /// Job lookup under mutex_; nullptr when unknown. Jobs are never
+    /// destroyed while the service lives, so the pointer stays valid
+    /// after the lock drops (fields read afterwards are themselves
+    /// synchronized or write-once-before-done).
+    Job* find_job(std::uint64_t id) const;
+
+    void runner_loop();
+
+    ServiceOptions options_;
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::vector<std::unique_ptr<Job>> jobs_;  ///< all jobs, id order
+    std::deque<Job*> queue_;                  ///< not-yet-run jobs, FIFO
+    bool stopping_ = false;
+    std::thread runner_;
+};
+
+} // namespace dynamo::service

@@ -15,6 +15,7 @@
 
 #include "scenario/campaign.hpp"
 #include "scenario/manifest.hpp"
+#include "scenario/merge.hpp"
 #include "scenario/report.hpp"
 #include "scenario/scenario.hpp"
 #include "core/run/backend.hpp"
@@ -634,6 +635,42 @@ TEST(Campaign, ProgressStreamEmitsOneJsonLinePerPoint) {
     for (const util::Json& record : warm_lines) {
         EXPECT_EQ(record.find("status")->as_string(), "cached");
     }
+}
+
+TEST(Campaign, ShardedRunsMergeByteIdenticallyThroughARealScenario) {
+    // The crash-safe distributed path against a real registry scenario
+    // (mc_density_point): split the campaign two ways into a SHARED cache
+    // directory, merge the shard artifacts, and require the exact bytes
+    // an unsharded run produces. tests/test_service.cpp exercises the
+    // mechanism exhaustively with probe scenarios; this guards the real
+    // registry end of it.
+    const Manifest manifest = small_campaign_manifest();
+    const ScratchDir dir("camp_shard");
+
+    CampaignOptions unsharded;
+    unsharded.cache_dir = dir.path() + "/solo";
+    const std::string expected = run_campaign(manifest, unsharded).to_json(manifest);
+
+    CampaignOptions options;
+    options.cache_dir = dir.path() + "/shared";
+    std::vector<ShardArtifact> artifacts;
+    for (unsigned k = 0; k < 2; ++k) {
+        options.shard_index = k;
+        options.shard_count = 2;
+        const CampaignOutcome outcome = run_campaign(manifest, options);
+        EXPECT_EQ(outcome.points.size(), 2u);
+        EXPECT_EQ(outcome.total_points, 4u);
+        artifacts.push_back({"shard" + std::to_string(k), outcome.to_json(manifest)});
+    }
+    EXPECT_EQ(merge_campaign_artifacts(artifacts), expected);
+
+    // The shards fully warmed the shared cache for the unsharded shape.
+    CampaignOptions warm;
+    warm.cache_dir = dir.path() + "/shared";
+    const CampaignOutcome rerun = run_campaign(manifest, warm);
+    EXPECT_EQ(rerun.cached, 4u);
+    EXPECT_EQ(rerun.computed, 0u);
+    EXPECT_EQ(rerun.to_json(manifest), expected);
 }
 
 TEST(Report, RendersTheCriticalDensityAtlas) {
