@@ -16,7 +16,7 @@
 #include "core/builders.hpp"
 #include "core/engine.hpp"
 #include "core/run/batch.hpp"
-#include "graph/generators.hpp"
+#include "graph/builder.hpp"
 #include "graph/plurality.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -32,10 +32,14 @@ int scenario_main(dynamo::scenario::Context& ctx) {
     const CliArgs& args = ctx.args;
     const auto n = static_cast<std::size_t>(args.get_int("n", 500));
     const auto trials = static_cast<std::size_t>(args.get_int("trials", 15));
+    const std::string kind = args.get_string("kind", "ba");
+    const double gparam = args.get_double("gparam", kind == "ba" ? 3.0 : 0.0);
 
-    Xoshiro256 gen(0x50c1a1);
-    const graphx::Graph society = graphx::barabasi_albert(n, 3, gen);
-    out << "society: Barabasi-Albert, " << society.num_vertices() << " agents, "
+    // Any builder topology works as the society; the default reproduces
+    // the seed-era Barabasi-Albert graph byte for byte (same seed, same
+    // attachment count).
+    const graphx::Graph society = graphx::build_graph(kind, n, gparam, 0x50c1a1);
+    out << "society: " << kind << ", " << society.num_vertices() << " agents, "
               << society.num_edges() << " ties, max degree " << society.max_degree()
               << " (hubs), mean " << society.mean_degree() << '\n';
 
@@ -119,6 +123,10 @@ int scenario_main(dynamo::scenario::Context& ctx) {
     {
         {"n", dynamo::scenario::ParamType::Int, "500", "80", "society size"},
         {"trials", dynamo::scenario::ParamType::Int, "15", "2", "trials per cell"},
+        {"kind", dynamo::scenario::ParamType::String, "ba", "",
+         "society topology (graph/builder.hpp kind names)"},
+        {"gparam", dynamo::scenario::ParamType::Double, "3", "",
+         "kind-specific graph parameter (<= 0 = the kind's default)"},
     },
     &scenario_main,
 });

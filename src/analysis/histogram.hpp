@@ -1,0 +1,90 @@
+// dynamo/analysis/histogram.hpp
+//
+// Power-of-two bucketed histogram for streaming run observability
+// (io/run_stream.hpp): per-round latencies span five orders of magnitude
+// between a cache-resident toy torus and a million-vertex scale-free
+// frontier sweep, so buckets double - value v lands in bucket
+// bit_width(v), i.e. bucket b holds [2^(b-1), 2^b). Insertion is O(1),
+// the memory footprint is 65 counters, and the invariant the property
+// tests pin is exactness: total() equals the number of add() calls, no
+// sample is ever dropped or double-counted.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "util/json.hpp"
+
+namespace dynamo::analysis {
+
+class Log2Histogram {
+  public:
+    /// Bucket 0 holds the value 0; bucket b >= 1 holds [2^(b-1), 2^b).
+    static constexpr std::size_t kBuckets = 65;
+
+    void add(std::uint64_t value) noexcept {
+        ++counts_[std::bit_width(value)];
+        ++total_;
+        if (value < min_ || total_ == 1) min_ = value;
+        if (value > max_) max_ = value;
+        sum_ += value;
+    }
+
+    std::uint64_t total() const noexcept { return total_; }
+    std::uint64_t count(std::size_t bucket) const noexcept { return counts_[bucket]; }
+    std::uint64_t min() const noexcept { return total_ == 0 ? 0 : min_; }
+    std::uint64_t max() const noexcept { return max_; }
+    double mean() const noexcept {
+        return total_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(total_);
+    }
+
+    /// Smallest value v such that at least `q` (in [0, 1]) of the samples
+    /// fall in buckets up to v's; resolution is the bucket width (a factor
+    /// of two), which is all a latency trace needs.
+    std::uint64_t quantile_upper_bound(double q) const noexcept {
+        if (total_ == 0) return 0;
+        const double target = q * static_cast<double>(total_);
+        std::uint64_t seen = 0;
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            seen += counts_[b];
+            if (static_cast<double>(seen) >= target) {
+                return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+            }
+        }
+        return max_;
+    }
+
+    /// {"total":n,"min":..,"max":..,"mean":..,"buckets":[[lo,hi,count],..]}
+    /// with empty buckets omitted, so the record stays small in JSONL
+    /// streams however long the run.
+    util::Json to_json() const {
+        using util::Json;
+        util::JsonArray buckets;
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            if (counts_[b] == 0) continue;
+            util::JsonArray row;
+            row.emplace_back(Json(b == 0 ? std::uint64_t{0} : std::uint64_t{1} << (b - 1)));
+            row.emplace_back(Json(b == 0 ? std::uint64_t{0} : (std::uint64_t{1} << b) - 1));
+            row.emplace_back(Json(counts_[b]));
+            buckets.emplace_back(Json(std::move(row)));
+        }
+        util::JsonObject o;
+        o.reserve(5);  // also sidesteps a GCC-12 -Warray-bounds false positive
+        o.emplace_back("total", Json(total_));
+        o.emplace_back("min", Json(min()));
+        o.emplace_back("max", Json(max_));
+        o.emplace_back("mean", Json(mean()));
+        o.emplace_back("buckets", Json(std::move(buckets)));
+        return Json(std::move(o));
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t total_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+} // namespace dynamo::analysis

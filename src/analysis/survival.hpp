@@ -1,0 +1,110 @@
+// dynamo/analysis/survival.hpp
+//
+// Time-to-consensus survival curves for long-run campaign observability:
+// S(r) = fraction of trials that had NOT yet reached consensus (or any
+// other terminal event) after round r. Built from per-trial event rounds
+// plus right-censored trials (runs that hit the round cap before the
+// event), the standard treatment when a defensive cap truncates the
+// observation window: a censored trial contributes "still alive through
+// its cap" and never an event, so S is an exact empirical curve - not an
+// estimate - whenever every trial shares one cap.
+//
+// Invariants (pinned by tests/test_graph_engine.cpp):
+//   * S is monotone non-increasing with S(0) <= 1;
+//   * S(r) for r >= max event round equals censored / trials;
+//   * event_rounds.size() + censored = trials().
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace dynamo::analysis {
+
+class SurvivalCurve {
+  public:
+    /// `event_rounds[i]` = round at which trial i reached the event;
+    /// `censored` = number of additional trials observed to the cap
+    /// without the event.
+    static SurvivalCurve from_rounds(std::vector<std::uint32_t> event_rounds,
+                                     std::size_t censored) {
+        SurvivalCurve curve;
+        curve.trials_ = event_rounds.size() + censored;
+        curve.censored_ = censored;
+        std::sort(event_rounds.begin(), event_rounds.end());
+        // Collapse equal event rounds into steps: after round r, the
+        // survivors are the trials whose event lies strictly beyond r.
+        std::size_t i = 0;
+        while (i < event_rounds.size()) {
+            const std::uint32_t r = event_rounds[i];
+            while (i < event_rounds.size() && event_rounds[i] == r) ++i;
+            curve.steps_.push_back({r, curve.trials_ - i});
+        }
+        return curve;
+    }
+
+    struct Step {
+        std::uint32_t round;        ///< an event round
+        std::size_t survivors;      ///< trials still without the event AFTER it
+    };
+
+    std::size_t trials() const noexcept { return trials_; }
+    std::size_t censored() const noexcept { return censored_; }
+    std::size_t events() const noexcept { return trials_ - censored_; }
+    const std::vector<Step>& steps() const noexcept { return steps_; }
+
+    /// S(r): fraction of trials still without the event after round r.
+    double at(std::uint32_t round) const noexcept {
+        if (trials_ == 0) return 1.0;
+        std::size_t survivors = trials_;
+        for (const Step& s : steps_) {
+            if (s.round > round) break;
+            survivors = s.survivors;
+        }
+        return static_cast<double>(survivors) / static_cast<double>(trials_);
+    }
+
+    /// Smallest round r with S(r) <= q, or nullopt when the curve never
+    /// sinks that far (e.g. too many censored trials). median_round() is
+    /// the q = 0.5 case campaigns report.
+    std::optional<std::uint32_t> round_reaching(double q) const noexcept {
+        for (const Step& s : steps_) {
+            const double surv =
+                static_cast<double>(s.survivors) / static_cast<double>(trials_);
+            if (surv <= q) return s.round;
+        }
+        return std::nullopt;
+    }
+    std::optional<std::uint32_t> median_round() const noexcept { return round_reaching(0.5); }
+
+    /// {"trials":n,"events":e,"censored":c,"curve":[[round,survival],..]}
+    util::Json to_json() const {
+        using util::Json;
+        util::JsonArray curve;
+        for (const Step& s : steps_) {
+            util::JsonArray row;
+            row.emplace_back(Json(static_cast<std::uint64_t>(s.round)));
+            row.emplace_back(
+                Json(static_cast<double>(s.survivors) / static_cast<double>(trials_)));
+            curve.emplace_back(Json(std::move(row)));
+        }
+        util::JsonObject o;
+        o.reserve(4);  // also sidesteps a GCC-12 -Warray-bounds false positive
+        o.emplace_back("trials", Json(static_cast<std::uint64_t>(trials_)));
+        o.emplace_back("events", Json(static_cast<std::uint64_t>(events())));
+        o.emplace_back("censored", Json(static_cast<std::uint64_t>(censored_)));
+        o.emplace_back("curve", Json(std::move(curve)));
+        return Json(std::move(o));
+    }
+
+  private:
+    std::size_t trials_ = 0;
+    std::size_t censored_ = 0;
+    std::vector<Step> steps_;  ///< sorted by round, survivors strictly decreasing
+};
+
+} // namespace dynamo::analysis

@@ -81,6 +81,41 @@ Graph watts_strogatz(std::size_t num_vertices, std::uint32_t k, double beta, Xos
     return Graph::from_edges(num_vertices, edges);
 }
 
+Graph lollipop(std::size_t clique_size, std::size_t tail_size) {
+    DYNAMO_REQUIRE(clique_size >= 2, "lollipop needs a clique of >= 2 vertices");
+    std::vector<Edge> edges;
+    for (VertexId a = 0; a < clique_size; ++a) {
+        for (VertexId b = a + 1; b < clique_size; ++b) edges.emplace_back(a, b);
+    }
+    // Tail vertices clique_size .. clique_size + tail_size - 1, chained off
+    // clique vertex 0.
+    VertexId prev = 0;
+    for (std::size_t t = 0; t < tail_size; ++t) {
+        const auto v = static_cast<VertexId>(clique_size + t);
+        edges.emplace_back(prev, v);
+        prev = v;
+    }
+    return Graph::from_edges(clique_size + tail_size, edges);
+}
+
+Graph random_regular(std::size_t num_vertices, std::uint32_t d, Xoshiro256& rng) {
+    DYNAMO_REQUIRE(d >= 1, "regular degree must be positive");
+    DYNAMO_REQUIRE(num_vertices >= 2 && num_vertices % 2 == 0,
+                   "random regular graph needs an even vertex count >= 2");
+    std::vector<VertexId> perm(num_vertices);
+    for (VertexId v = 0; v < num_vertices; ++v) perm[v] = v;
+    std::vector<Edge> edges;
+    edges.reserve(num_vertices / 2 * d);
+    for (std::uint32_t m = 0; m < d; ++m) {
+        // One uniform perfect matching: shuffle, pair adjacent entries.
+        deterministic_shuffle(perm.begin(), perm.end(), rng);
+        for (std::size_t i = 0; i + 1 < num_vertices; i += 2) {
+            edges.emplace_back(perm[i], perm[i + 1]);
+        }
+    }
+    return Graph::from_edges(num_vertices, edges);
+}
+
 Graph from_torus(const grid::Torus& torus) {
     std::vector<Edge> edges;
     for (grid::VertexId v = 0; v < torus.size(); ++v) {

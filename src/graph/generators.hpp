@@ -36,6 +36,21 @@ Graph ring_lattice(std::size_t num_vertices, std::uint32_t k);
 /// occasional duplicate edge is kept as a parallel edge).
 Graph watts_strogatz(std::size_t num_vertices, std::uint32_t k, double beta, Xoshiro256& rng);
 
+/// Lollipop: a clique on `clique_size` vertices with a path of
+/// `tail_size` extra vertices hung off clique vertex 0 - the classic
+/// worst-case mixing topology, and the engine's pathological-frontier
+/// stressor (a wave crawling down the tail keeps the frontier tiny while
+/// the clique is already quiescent).
+Graph lollipop(std::size_t clique_size, std::size_t tail_size);
+
+/// Random d-regular multigraph: the union of `d` independent uniform
+/// perfect matchings on an even vertex count (parallel edges kept, no
+/// self-loops by construction). For d >= 3 such graphs are expanders
+/// with high probability, giving the differential net an irregular
+/// constant-degree topology with logarithmic diameter; d = 4 yields
+/// degree-4 graphs the LocalRule family runs on unchanged.
+Graph random_regular(std::size_t num_vertices, std::uint32_t d, Xoshiro256& rng);
+
 /// Any paper torus as a general graph (degenerate parallel slots kept).
 Graph from_torus(const grid::Torus& torus);
 

@@ -1,53 +1,30 @@
 // dynamo/graph/graph_engine.hpp
 //
-// Plurality dynamics on a CSR graph as a run-layer engine: satisfies the
-// Engine concept of core/run/runner.hpp (step / colors / round, plus
-// step_collect change reporting), so the shared Runner drives general
-// graphs with exactly the same terminal-round semantics and observers as
-// the torus engines. simulate_plurality (graph/plurality.hpp) is now a
-// thin adapter over this engine + run_to_terminal.
+// Plurality dynamics on a CSR graph as a run-layer engine. Since PR 9
+// this is a thin name over the general CSR graph engine
+// (core/sim/csr_graph_engine.hpp) instantiated with the SMP plurality
+// rule: frontier-driven, pool-aware stepping with the active-set
+// determinism contract, satisfying the Engine concept of
+// core/run/runner.hpp (the runner picks up the pool-aware
+// step_collect(out, pool, grain) overload automatically). The seed-era
+// full-sweep path survives as plurality_step (graph/plurality.cpp), which
+// the differential net runs as the oracle against this engine.
 #pragma once
 
-#include <cstdint>
-#include <vector>
+#include <utility>
 
-#include "core/coloring.hpp"
+#include "core/sim/csr_graph_engine.hpp"
+#include "graph/graph_rules.hpp"
 #include "graph/plurality.hpp"
 
 namespace dynamo::graphx {
 
-class GraphEngine {
+class GraphEngine : public sim::CsrGraphEngineT<PluralityRule> {
   public:
     GraphEngine(const Graph& graph, ColorField initial,
                 PluralityThreshold threshold = PluralityThreshold::SimpleHalf)
-        : graph_(&graph), threshold_(threshold), cur_(std::move(initial)), next_(cur_.size()) {
-        DYNAMO_REQUIRE(cur_.size() == graph.num_vertices(), "field size mismatch");
-    }
-
-    /// One synchronous round; returns the number of vertices that changed.
-    std::size_t step() { return step_impl(nullptr); }
-
-    /// step() that also appends the changed cells (ascending vertex order).
-    std::size_t step_collect(std::vector<CellChange>& out) { return step_impl(&out); }
-
-    const ColorField& colors() const noexcept { return cur_; }
-    const Graph& graph() const noexcept { return *graph_; }
-    std::uint32_t round() const noexcept { return round_; }
-
-  private:
-    std::size_t step_impl(std::vector<CellChange>* out) {
-        const std::size_t changed = plurality_step(*graph_, cur_, next_, threshold_);
-        if (changed != 0 && out != nullptr) append_changes(cur_, next_, *out);
-        cur_.swap(next_);
-        ++round_;
-        return changed;
-    }
-
-    const Graph* graph_;
-    PluralityThreshold threshold_;
-    ColorField cur_;
-    ColorField next_;
-    std::uint32_t round_ = 0;
+        : sim::CsrGraphEngineT<PluralityRule>(graph, std::move(initial),
+                                              PluralityRule{threshold}) {}
 };
 
 } // namespace dynamo::graphx

@@ -83,6 +83,8 @@ GraphTrace simulate_plurality(const Graph& graph, const ColorField& initial,
     run_options.max_rounds = options.max_rounds;
     run_options.target = options.target;
     run_options.detect_cycles = options.detect_cycles;
+    run_options.pool = options.pool;
+    run_options.parallel_grain = options.parallel_grain;
 
     GraphEngine engine(graph, initial, options.threshold);
     RunResult result = run_to_terminal(engine, run_options);

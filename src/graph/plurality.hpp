@@ -21,6 +21,10 @@
 #include "core/coloring.hpp"
 #include "graph/graph.hpp"
 
+namespace dynamo {
+class ThreadPool;
+}
+
 namespace dynamo::graphx {
 
 enum class PluralityThreshold : std::uint8_t { AtLeastTwo, SimpleHalf, StrongHalf };
@@ -30,6 +34,8 @@ struct GraphSimulationOptions {
     std::optional<Color> target;   ///< track adoption / monotonicity of this color
     bool detect_cycles = true;
     PluralityThreshold threshold = PluralityThreshold::SimpleHalf;
+    ThreadPool* pool = nullptr;    ///< worker pool for the frontier sweep; nullptr = serial
+    std::size_t parallel_grain = 1 << 14;
 };
 
 struct GraphTrace {

@@ -1,114 +1,13 @@
 #include "graph/temporal.hpp"
 
-#include <array>
 #include <utility>
-#include <vector>
 
 #include "core/run/runner.hpp"
-#include "core/smp_rule.hpp"
-#include "util/rng.hpp"
+#include "core/sim/csr_graph_engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_rules.hpp"
 
 namespace dynamo::graphx {
-
-namespace {
-
-/// Deterministic symmetric edge-availability draw for one round.
-bool edge_present(std::uint64_t seed, std::uint32_t round, grid::VertexId a, grid::VertexId b,
-                  double edge_up) {
-    if (edge_up >= 1.0) return true;
-    const std::uint64_t lo = std::min(a, b), hi = std::max(a, b);
-    SplitMix64 h(seed ^ (0x9e3779b97f4a7c15ULL * (round + 1)) ^ (lo << 32) ^ hi);
-    return static_cast<double>(h.next() >> 11) * 0x1.0p-53 < edge_up;
-}
-
-/// SMP decision over the present neighbor slots only: unique plurality of
-/// multiplicity >= 2 adopts; everything else keeps.
-Color decide_partial(Color own, const std::array<Color, grid::kDegree>& nbr,
-                     const std::array<bool, grid::kDegree>& up) {
-    Color colors[grid::kDegree];
-    int counts[grid::kDegree];
-    std::size_t distinct = 0;
-    for (std::size_t s = 0; s < grid::kDegree; ++s) {
-        if (!up[s]) continue;
-        bool found = false;
-        for (std::size_t t = 0; t < distinct; ++t) {
-            if (colors[t] == nbr[s]) {
-                ++counts[t];
-                found = true;
-                break;
-            }
-        }
-        if (!found) {
-            colors[distinct] = nbr[s];
-            counts[distinct] = 1;
-            ++distinct;
-        }
-    }
-    int best = 0;
-    Color best_color = own;
-    bool tie = false;
-    for (std::size_t t = 0; t < distinct; ++t) {
-        if (counts[t] > best) {
-            best = counts[t];
-            best_color = colors[t];
-            tie = false;
-        } else if (counts[t] == best) {
-            tie = true;
-        }
-    }
-    if (best < 2 || tie) return own;
-    return best_color;
-}
-
-/// The temporal SMP process as a run-layer engine: the rule is
-/// round-dependent (edge availability is a deterministic function of
-/// (seed, round, edge)), so a quiescent round is not terminal - the Runner
-/// is told via RunOptions::stop_on_quiescence = false.
-class TemporalEngine {
-  public:
-    TemporalEngine(const grid::Torus& torus, ColorField initial, double edge_up,
-                   std::uint64_t seed)
-        : torus_(&torus), edge_up_(edge_up), seed_(seed), cur_(std::move(initial)),
-          next_(cur_.size()) {}
-
-    std::size_t step() { return step_impl(nullptr); }
-    std::size_t step_collect(std::vector<CellChange>& out) { return step_impl(&out); }
-
-    const ColorField& colors() const noexcept { return cur_; }
-    std::uint32_t round() const noexcept { return round_; }
-
-  private:
-    std::size_t step_impl(std::vector<CellChange>* out) {
-        const std::uint32_t r = round_ + 1;
-        const std::size_t n = cur_.size();
-        std::size_t changed = 0;
-        for (grid::VertexId v = 0; v < n; ++v) {
-            const auto nbrs = torus_->neighbors(v);
-            std::array<Color, grid::kDegree> nbr_colors;
-            std::array<bool, grid::kDegree> up;
-            for (std::size_t s = 0; s < grid::kDegree; ++s) {
-                nbr_colors[s] = cur_[nbrs[s]];
-                up[s] = edge_present(seed_, r, v, nbrs[s], edge_up_);
-            }
-            const Color next = decide_partial(cur_[v], nbr_colors, up);
-            next_[v] = next;
-            changed += (next != cur_[v]);
-        }
-        if (changed != 0 && out != nullptr) append_changes(cur_, next_, *out);
-        cur_.swap(next_);
-        ++round_;
-        return changed;
-    }
-
-    const grid::Torus* torus_;
-    double edge_up_;
-    std::uint64_t seed_;
-    ColorField cur_;
-    ColorField next_;
-    std::uint32_t round_ = 0;
-};
-
-} // namespace
 
 TemporalTrace simulate_temporal(const grid::Torus& torus, const ColorField& initial,
                                 const TemporalOptions& options) {
@@ -117,15 +16,33 @@ TemporalTrace simulate_temporal(const grid::Torus& torus, const ColorField& init
                    "edge availability outside [0, 1]");
     const std::size_t n = torus.size();
 
+    // The availability hash is a pure function of (seed, round, edge), so
+    // the process is a time-varying GraphRule on the torus-as-graph CSR
+    // adjacency (degenerate parallel slots share one edge decision, exactly
+    // as TemporalSmpRule's per-endpoint-pair hash provides).
+    const Graph graph = from_torus(torus);
+    const TemporalSmpRule rule{options.edge_up, options.seed};
+
     RunOptions run_options;
     run_options.max_rounds = options.max_rounds != 0
                                  ? options.max_rounds
                                  : static_cast<std::uint32_t>(8 * n + 64);
     run_options.target = options.target;
-    run_options.detect_cycles = false;      // trajectories are round-dependent
-    run_options.stop_on_quiescence = false; // links may come back up
+    if (rule.time_varying()) {
+        run_options.detect_cycles = false;      // trajectories are round-dependent
+        run_options.stop_on_quiescence = false; // links may come back up
+    } else {
+        // edge_up == 1.0: every link is up every round, the process is the
+        // plain static SMP dynamics - a quiescent round IS terminal. The
+        // seed-era driver still ran with stop_on_quiescence = false here and
+        // spun no-op rounds to the cap on any non-monochromatic fixed point,
+        // reporting rounds == cap; exact semantics are pinned by
+        // Temporal.FullAvailabilityFixedPointStopsExactly.
+        run_options.detect_cycles = true;
+        run_options.stop_on_quiescence = true;
+    }
 
-    TemporalEngine engine(torus, initial, options.edge_up, options.seed);
+    sim::CsrGraphEngineT<TemporalSmpRule> engine(graph, initial, rule);
     RunResult result = run_to_terminal(engine, run_options);
 
     TemporalTrace trace;

@@ -9,8 +9,10 @@
 
 #include "core/run/simulate.hpp"
 #include "core/sim/bitplane_engine.hpp"
+#include "core/sim/csr_graph_engine.hpp"
 #include "core/sim/packed_engine.hpp"
 #include "core/transform.hpp"
+#include "graph/graph_rules.hpp"
 #include "rules/incremental.hpp"
 #include "rules/majority.hpp"
 #include "rules/threshold.hpp"
@@ -67,6 +69,16 @@ std::size_t generic_sweep_entry(const grid::Torus& torus, const Color* src, Colo
 }
 
 template <sim::LocalRule R>
+RunResult run_graph_entry(const graphx::Graph& graph, const ColorField& initial,
+                          const RunOptions& options) {
+    DYNAMO_REQUIRE(graph.max_degree() == grid::kDegree &&
+                       graph.num_edges() * 2 == graph.num_vertices() * grid::kDegree,
+                   "LocalRule graph runs need a 4-regular graph");
+    sim::CsrGraphEngineT<graphx::LocalRuleOnGraph<R>> engine(graph, initial);
+    return run_to_terminal(engine, options);
+}
+
+template <sim::LocalRule R>
 double bitplane_cps_entry(const grid::Torus& torus, const ColorField& field, int warmup,
                           int rounds) {
     return sim::bitplane_cells_per_sec<R>(torus, field, warmup, rounds);
@@ -100,6 +112,7 @@ constexpr RuleInfo make_info(const char* summary) {
         +[](const grid::Torus& t, const ColorField& f, const RunOptions& o) {
             return simulate_as<R>(t, f, o);
         },
+        &run_graph_entry<R>,
         &quick_verify_entry<R>,
         +[](const grid::Torus& t) {
             return std::unique_ptr<RuleVerifier>(new SearchVerifierT<R>(t));

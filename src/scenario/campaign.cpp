@@ -5,10 +5,10 @@
 #include "scenario/campaign.hpp"
 
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 
+#include "io/jsonl.hpp"
 #include "scenario/checkpoint.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
@@ -41,23 +41,15 @@ CachedResult compute_point(const Scenario& scenario, const PointSpec& point) {
     return result;
 }
 
-/// The ONE serialized progress sink both campaign passes write through.
-/// Every line is emitted under the mutex and flushed immediately (so
-/// `tail -f` of a progress file tracks the campaign live, and concurrent
-/// pool workers can never interleave bytes of two lines), and the stream
-/// is flushed once more on drop, so a process exiting right after the
-/// last point can never leave a truncated final line behind.
+/// The campaign progress sink: one JSONL record per point over the shared
+/// serialized writer (io/jsonl.hpp), which owns the interleaving, flush-
+/// per-line, and flush-on-drop guarantees both campaign passes rely on.
 class ProgressEmitter {
   public:
-    explicit ProgressEmitter(std::ostream* out) : out_(out) {}
-    ~ProgressEmitter() {
-        if (out_ != nullptr) out_->flush();
-    }
-    ProgressEmitter(const ProgressEmitter&) = delete;
-    ProgressEmitter& operator=(const ProgressEmitter&) = delete;
+    explicit ProgressEmitter(std::ostream* out) : writer_(out) {}
 
     void emit(std::size_t index, const char* status, const CampaignPoint& point) {
-        if (out_ == nullptr) return;
+        if (!writer_.enabled()) return;
         JsonObject params;
         for (const auto& [k, v] : point.spec.params) params.emplace_back(k, Json(v));
         JsonObject metrics;
@@ -68,14 +60,11 @@ class ProgressEmitter {
         line.emplace_back("exit_code", Json(static_cast<std::int64_t>(point.result.exit_code)));
         line.emplace_back("params", Json(std::move(params)));
         line.emplace_back("metrics", Json(std::move(metrics)));
-        const std::string rendered = Json(std::move(line)).dump(0);
-        const std::lock_guard<std::mutex> lock(mutex_);
-        *out_ << rendered << "\n" << std::flush;
+        writer_.write(Json(std::move(line)));
     }
 
   private:
-    std::ostream* out_;
-    std::mutex mutex_;
+    io::JsonlWriter writer_;
 };
 
 /// Fingerprint of the campaign a checkpoint belongs to: scenario name,

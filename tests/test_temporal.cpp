@@ -36,6 +36,45 @@ TEST(Temporal, FullAvailabilityMatchesTheStaticEngine) {
     }
 }
 
+TEST(Temporal, FullAvailabilityFixedPointStopsExactly) {
+    // Regression: two stable color bands form a fixed point that is NOT
+    // monochromatic. The seed-era driver never stopped on quiescence, so
+    // at edge_up = 1 it spun no-op rounds all the way to the defensive
+    // 8|V| + 64 cap and reported rounds == cap with phantom accounting;
+    // the migrated driver must report the exact quiescence round, zero
+    // recolorings, and agree with the static engine.
+    Torus t(Topology::ToroidalMesh, 6, 6);
+    ColorField bands(t.size());
+    for (std::uint32_t r = 0; r < 6; ++r) {
+        for (std::uint32_t c = 0; c < 6; ++c) bands[r * 6 + c] = r < 3 ? 1 : 2;
+    }
+    const Trace stat = simulate(t, bands);
+    ASSERT_EQ(stat.termination, Termination::FixedPoint);
+
+    TemporalOptions opts;
+    opts.edge_up = 1.0;
+    const TemporalTrace temp = simulate_temporal(t, bands, opts);
+    EXPECT_FALSE(temp.monochromatic);
+    EXPECT_EQ(temp.rounds, stat.rounds);
+    EXPECT_LT(temp.rounds, 8 * t.size() + 64);  // the seed-era inflated value
+    EXPECT_EQ(temp.total_recolorings, stat.total_recolorings);
+    EXPECT_EQ(temp.final_colors, bands);
+}
+
+TEST(Temporal, ZeroAvailabilityStopsAtExactRoundCount) {
+    // Frozen links: every round is a no-op. The exact-accounting contract
+    // says total_recolorings counts actual cell recolorings (zero here),
+    // regardless of how many rounds the cap allows.
+    Torus t(Topology::ToroidalMesh, 6, 6);
+    const Configuration cfg = build_theorem2_configuration(t);
+    TemporalOptions opts;
+    opts.edge_up = 0.0;
+    opts.max_rounds = 50;
+    const TemporalTrace trace = simulate_temporal(t, cfg.field, opts);
+    EXPECT_EQ(trace.total_recolorings, 0u);
+    EXPECT_EQ(trace.final_colors, cfg.field);
+}
+
 TEST(Temporal, ZeroAvailabilityFreezesEverything) {
     Torus t(Topology::ToroidalMesh, 6, 6);
     const Configuration cfg = build_theorem2_configuration(t);
