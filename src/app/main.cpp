@@ -14,8 +14,15 @@
 //   dynamo merge <shard.json>... --out=FILE
 //                                        reassemble N shard artifacts into the
 //                                        byte-identical unsharded campaign JSON
-//   dynamo serve [--port=P] [--workers=N] [--cache-dir=DIR]
+//   dynamo serve [--port=P] [--workers=N] [--cache-dir=DIR] [--port-file=PATH]
 //                                        HTTP/JSON campaign service (loopback)
+//   dynamo coordinate <manifest.json> [--port=P] [--port-file=PATH] ...
+//                                        distributed-campaign coordinator:
+//                                        leases points to pulling workers,
+//                                        persists through cache + checkpoint,
+//                                        artifact byte-identical to a local run
+//   dynamo work --coordinator=URL [--name=ID] [--workers=N] ...
+//                                        pull-compute-complete worker loop
 //   dynamo report <campaign.json>        render a campaign artifact as a
 //          [--format=markdown|json]      comparison table (atlas-aware)
 //          [--out=FILE]
@@ -24,6 +31,9 @@
 // The seed-era bench/example binaries are wrappers over the same registry
 // (app/compat_stub.cpp), so `bench_tab_thm1_mesh_bounds --max-dim=8` and
 // `dynamo run tab_thm1_mesh_bounds --max-dim=8` print the same report.
+#include <unistd.h>
+
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -31,6 +41,9 @@
 #include <string>
 #include <vector>
 
+#include "dist/coordinator.hpp"
+#include "dist/http_client.hpp"
+#include "dist/worker.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/merge.hpp"
 #include "scenario/report.hpp"
@@ -62,8 +75,25 @@ int usage(std::ostream& out, int code) {
            "                                      reassemble shard artifacts into the\n"
            "                                      byte-identical unsharded campaign\n"
            "  dynamo serve [--port=P] [--workers=N] [--cache-dir=DIR]\n"
+           "               [--port-file=PATH]\n"
            "                                      HTTP/JSON campaign service on\n"
-           "                                      127.0.0.1 (docs/serving.md)\n"
+           "                                      127.0.0.1 (docs/serving.md;\n"
+           "                                      --port-file: write the bound port\n"
+           "                                      atomically for scripts)\n"
+           "  dynamo coordinate <manifest.json> [--port=P] [--port-file=PATH]\n"
+           "                    [--out=FILE] [--cache-dir=DIR] [--checkpoint=FILE]\n"
+           "                    [--force] [--lease-ttl-ms=MS] [--batch=N]\n"
+           "                    [--progress=FILE]\n"
+           "                                      hand out point leases to pulling\n"
+           "                                      `dynamo work` processes; artifact\n"
+           "                                      is byte-identical to a local run\n"
+           "  dynamo work --coordinator=URL [--name=ID] [--workers=N] [--capacity=N]\n"
+           "              [--poll-ms=MS] [--retries=N] [--backoff-ms=MS]\n"
+           "              [--backoff-cap-ms=MS]\n"
+           "                                      pull leases, compute points, push\n"
+           "                                      results; exits 0 when the campaign\n"
+           "                                      completes or the coordinator shuts\n"
+           "                                      down after contact\n"
            "  dynamo report <campaign.json> [--format=markdown|json] [--out=FILE]\n"
            "                                      render a campaign artifact as a\n"
            "                                      comparison table (atlas-aware)\n"
@@ -226,10 +256,11 @@ int cmd_merge(int argc, char** argv) {
 }
 
 int cmd_serve(int argc, char** argv) {
-    const CliArgs args(argc - 1, argv + 1, CliGrammar{{}, {"port", "workers", "cache-dir"}});
+    const CliArgs args(argc - 1, argv + 1,
+                       CliGrammar{{}, {"port", "port-file", "workers", "cache-dir"}});
     if (!args.positional().empty()) {
         std::cerr << "usage: dynamo serve [--port=P (0 = ephemeral)] [--workers=N] "
-                     "[--cache-dir=DIR]\n";
+                     "[--cache-dir=DIR] [--port-file=PATH]\n";
         return 2;
     }
     const std::int64_t port_arg = args.get_int("port", 0);
@@ -248,8 +279,11 @@ int cmd_serve(int argc, char** argv) {
 
     service::HttpServer server(static_cast<std::uint16_t>(port_arg));
     service::CampaignService service(std::move(service_options));
-    // CI and scripts scrape the port from this exact line (--port=0 binds
-    // an ephemeral one), so keep it first and flushed.
+    // --port-file is the robust way for scripts to learn an ephemeral
+    // port (atomic write — the file appears only after the bind, fully
+    // formed); the log line below stays for humans and old scripts.
+    if (const std::string port_file = args.get_string("port-file", ""); !port_file.empty())
+        service::write_port_file(port_file, server.port());
     std::cout << "dynamo serve: listening on http://127.0.0.1:" << server.port() << "\n"
               << std::flush;
     server.serve_forever([&](const service::HttpRequest& request) -> service::HttpResponse {
@@ -263,6 +297,178 @@ int cmd_serve(int argc, char** argv) {
     });
     std::cout << "dynamo serve: shut down\n";
     return 0;
+}
+
+/// Monotonic milliseconds for the coordinator's injected clock (lease
+/// TTLs are durations, so the epoch is irrelevant — only steadiness).
+std::uint64_t steady_now_ms() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+int cmd_coordinate(int argc, char** argv) {
+    const CliArgs args(argc - 1, argv + 1,
+                       CliGrammar{{"force"},
+                                  {"port", "port-file", "out", "cache-dir", "checkpoint",
+                                   "lease-ttl-ms", "batch", "progress"}});
+    if (args.positional().size() != 1) {
+        std::cerr << "usage: dynamo coordinate <manifest.json> [--port=P] "
+                     "[--port-file=PATH] [--out=FILE] [--cache-dir=DIR] "
+                     "[--checkpoint=FILE] [--force] [--lease-ttl-ms=MS] [--batch=N] "
+                     "[--progress=FILE]\n";
+        return 2;
+    }
+    const std::int64_t port_arg = args.get_int("port", 0);
+    DYNAMO_REQUIRE(port_arg >= 0 && port_arg <= 65535, "--port must be in [0, 65535]");
+
+    // Keep the raw document: GET /manifest serves it VERBATIM so workers
+    // expand exactly the coordinator's grid.
+    const std::string manifest_path = args.positional()[0];
+    std::ifstream in(manifest_path, std::ios::binary);
+    DYNAMO_REQUIRE(static_cast<bool>(in), "cannot open manifest '" + manifest_path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string manifest_text = buf.str();
+    const scenario::Manifest manifest =
+        scenario::parse_manifest(manifest_text, manifest_path);
+
+    dist::CoordinatorOptions options;
+    options.cache_dir = args.get_string("cache-dir", options.cache_dir);
+    options.checkpoint = args.get_string("checkpoint", "");
+    options.force = args.get_flag("force");
+    const std::int64_t ttl_arg = args.get_int("lease-ttl-ms", 10000);
+    DYNAMO_REQUIRE(ttl_arg > 0, "--lease-ttl-ms must be positive");
+    options.lease_ttl_ms = static_cast<std::uint64_t>(ttl_arg);
+    const std::int64_t batch_arg = args.get_int("batch", 4);
+    DYNAMO_REQUIRE(batch_arg > 0, "--batch must be positive");
+    options.batch = static_cast<std::size_t>(batch_arg);
+    std::ofstream progress;
+    if (const std::string path = args.get_string("progress", ""); !path.empty()) {
+        progress.open(path, std::ios::binary | std::ios::trunc);
+        DYNAMO_REQUIRE(static_cast<bool>(progress),
+                       "cannot write campaign progress '" + path + "'");
+        options.progress = &progress;
+    }
+
+    dist::CampaignCoordinator coordinator(manifest, manifest_text, std::move(options));
+
+    bool interrupted = false;
+    if (coordinator.complete()) {
+        // Warm resume: checkpoint + cache already cover every point — no
+        // reason to open a socket just to tell workers "done".
+        std::cout << "dynamo coordinate: campaign already complete (cache/checkpoint), "
+                     "not serving\n";
+    } else {
+        service::HttpServer server(static_cast<std::uint16_t>(port_arg));
+        if (const std::string port_file = args.get_string("port-file", "");
+            !port_file.empty())
+            service::write_port_file(port_file, server.port());
+        std::cout << "dynamo coordinate: listening on http://127.0.0.1:" << server.port()
+                  << " (" << coordinator.total_points() << " points, "
+                  << coordinator.settled_points() << " already settled)\n"
+                  << std::flush;
+        server.serve_forever(
+            [&](const service::HttpRequest& request) -> service::HttpResponse {
+                service::HttpResponse response =
+                    coordinator.handle(request, steady_now_ms());
+                // Stop AFTER routing, so the completing worker still gets
+                // its reply; remaining workers see the shutdown and exit
+                // cleanly through their had-contact rule.
+                if (coordinator.complete()) server.stop();
+                return response;
+            });
+        interrupted = !coordinator.complete();
+    }
+
+    const std::string report = coordinator.artifact();
+    const std::string out_path = args.get_string("out", "");
+    if (out_path.empty()) {
+        std::cout << report;
+    } else {
+        std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+        DYNAMO_REQUIRE(static_cast<bool>(out),
+                       "cannot write campaign report '" + out_path + "'");
+        out << report;
+    }
+    std::cout << coordinator.summary() << "\n";
+    if (coordinator.conflicts() > 0) {
+        std::cerr << "dynamo coordinate: " << coordinator.conflicts()
+                  << " conflicting duplicate completion(s) — results are supposed to be "
+                     "pure functions of (manifest, index); failing loudly\n";
+        return 4;
+    }
+    if (interrupted) {
+        std::cerr << "dynamo coordinate: interrupted before completion\n";
+        return 3;
+    }
+    return coordinator.outcome().failed == 0 ? 0 : 1;
+}
+
+int cmd_work(int argc, char** argv) {
+    const CliArgs args(argc - 1, argv + 1,
+                       CliGrammar{{"no-heartbeat"},
+                                  {"coordinator", "name", "workers", "capacity", "poll-ms",
+                                   "retries", "backoff-ms", "backoff-cap-ms"}});
+    const std::string url = args.get_string("coordinator", "");
+    if (!args.positional().empty() || url.empty()) {
+        std::cerr << "usage: dynamo work --coordinator=URL [--name=ID] [--workers=N] "
+                     "[--capacity=N] [--poll-ms=MS] [--retries=N] [--backoff-ms=MS] "
+                     "[--backoff-cap-ms=MS] [--no-heartbeat]\n";
+        return 2;
+    }
+    const std::optional<dist::Endpoint> endpoint = dist::parse_endpoint(url);
+    if (!endpoint.has_value()) {
+        std::cerr << "dynamo work: bad --coordinator '" << url
+                  << "' (want http://host:port)\n";
+        return 2;
+    }
+
+    dist::WorkerOptions options;
+    options.name = args.get_string("name", "worker-" + std::to_string(::getpid()));
+    const std::int64_t capacity_arg = args.get_int("capacity", 4);
+    DYNAMO_REQUIRE(capacity_arg > 0, "--capacity must be positive");
+    options.capacity = static_cast<std::size_t>(capacity_arg);
+    const std::int64_t poll_arg = args.get_int("poll-ms", 200);
+    DYNAMO_REQUIRE(poll_arg >= 0, "--poll-ms must be non-negative");
+    options.poll_ms = static_cast<std::uint64_t>(poll_arg);
+    const std::int64_t retries_arg = args.get_int("retries", 8);
+    DYNAMO_REQUIRE(retries_arg >= 0, "--retries must be non-negative");
+    options.backoff.max_attempts = static_cast<unsigned>(retries_arg);
+    const std::int64_t backoff_arg = args.get_int("backoff-ms", 50);
+    DYNAMO_REQUIRE(backoff_arg > 0, "--backoff-ms must be positive");
+    options.backoff.base_ms = static_cast<std::uint64_t>(backoff_arg);
+    const std::int64_t cap_arg = args.get_int("backoff-cap-ms", 2000);
+    DYNAMO_REQUIRE(cap_arg >= backoff_arg, "--backoff-cap-ms must be >= --backoff-ms");
+    options.backoff.cap_ms = static_cast<std::uint64_t>(cap_arg);
+    // Decorrelate retry jitter across workers deterministically: the
+    // seed is a pure function of the worker's name.
+    for (const unsigned char c : options.name)
+        options.backoff.jitter_seed = options.backoff.jitter_seed * 0x100000001b3ULL ^ c;
+    options.heartbeats = !args.get_flag("no-heartbeat");
+    options.log = &std::cout;
+
+    const std::int64_t workers_arg = args.get_int("workers", 0);
+    const unsigned workers =
+        workers_arg > 0 ? static_cast<unsigned>(workers_arg) : ThreadPool::default_threads();
+    std::optional<ThreadPool> pool;
+    if (workers > 1) {
+        pool.emplace(workers);
+        options.pool = &*pool;
+    }
+
+    dist::WorkerLoop loop(
+        [endpoint](const std::string& method, const std::string& target,
+                   const std::string& body) {
+            return dist::http_request(*endpoint, method, target, body);
+        },
+        std::move(options));
+    const dist::WorkerExit exit = loop.run();
+    std::cout << "dynamo work: " << dist::to_string(exit) << " ("
+              << loop.points_computed() << " points over " << loop.leases_completed()
+              << " leases)\n";
+    return dist::worker_exit_clean(exit) ? 0 : 1;
 }
 
 int cmd_report(int argc, char** argv) {
@@ -344,6 +550,8 @@ int main(int argc, char** argv) {
         if (cmd == "campaign") return cmd_campaign(argc, argv);
         if (cmd == "merge") return cmd_merge(argc, argv);
         if (cmd == "serve") return cmd_serve(argc, argv);
+        if (cmd == "coordinate") return cmd_coordinate(argc, argv);
+        if (cmd == "work") return cmd_work(argc, argv);
         if (cmd == "report") return cmd_report(argc, argv);
         if (cmd == "cache") return cmd_cache(argc, argv);
         if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(std::cout, 0);

@@ -1,0 +1,51 @@
+// dynamo/dist/backoff.hpp
+//
+// Capped exponential backoff with deterministic jitter — the worker's
+// retry schedule for transient HTTP failures. Header-only and pure: the
+// delay is a function of (policy, attempt) and nothing else, so the
+// schedule's bounds are unit-testable without sleeping (test_dist.cpp
+// pins them) and a worker's retry timing is reproducible from its
+// jitter seed.
+//
+// Shape: attempt k waits a uniformly jittered value in
+// [raw/2, raw] where raw = min(cap_ms, base_ms * 2^k) (saturating —
+// large k cannot overflow past the cap). Half-open jitter over the top
+// half keeps the expected delay growing exponentially while decorrelating
+// workers that fail in lockstep (e.g. all hitting a restarting
+// coordinator at once); the jitter PRNG is SplitMix64 keyed on
+// (jitter_seed, attempt), the same generator the simulation substreams
+// use, so no global RNG state is involved.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace dynamo::dist {
+
+struct BackoffPolicy {
+    std::uint64_t base_ms = 50;    ///< attempt-0 nominal delay
+    std::uint64_t cap_ms = 2000;   ///< raw delays saturate here
+    unsigned max_attempts = 8;     ///< retries before the caller gives up
+    std::uint64_t jitter_seed = 0; ///< decorrelates workers; deterministic per worker
+};
+
+/// Deterministic jittered delay for retry `attempt` (0-based).
+inline std::uint64_t backoff_delay_ms(const BackoffPolicy& policy, unsigned attempt) {
+    std::uint64_t raw = policy.base_ms;
+    for (unsigned k = 0; k < attempt; ++k) {
+        if (raw >= policy.cap_ms / 2 + policy.cap_ms % 2) {  // next double would pass cap
+            raw = policy.cap_ms;
+            break;
+        }
+        raw *= 2;
+    }
+    if (raw > policy.cap_ms) raw = policy.cap_ms;
+    if (raw <= 1) return raw;
+    SplitMix64 rng(policy.jitter_seed ^
+                         (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(attempt) + 1)));
+    const std::uint64_t half = raw / 2;
+    return half + rng.next() % (raw - half + 1);  // uniform in [raw/2, raw]
+}
+
+} // namespace dynamo::dist

@@ -1,0 +1,49 @@
+// dynamo/dist/http_client.hpp
+//
+// The client half of the PR-8 HTTP layer: one blocking request per
+// connection against the serve/coordinate loopback servers — the same
+// deliberately narrow HTTP/1.1 subset service/http.hpp speaks (JSON
+// bodies with Content-Length, Connection: close), over raw POSIX
+// sockets, no third-party dependency.
+//
+// Failure model: any transport-level problem (resolve, connect, send,
+// timeout, torn response) is an EMPTY optional — the caller (the worker
+// loop's retry policy) decides whether to back off and retry, so this
+// layer never sleeps and never throws for network reasons. An HTTP
+// error status (4xx/5xx) is NOT a transport failure: the response is
+// returned and the caller interprets the status.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dynamo::dist {
+
+struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+};
+
+/// Parse "http://host:port", "host:port", with an optional trailing
+/// path (ignored — the fabric's targets are per-request). Empty
+/// optional when no valid host:port can be extracted.
+std::optional<Endpoint> parse_endpoint(const std::string& url);
+
+struct HttpClientResponse {
+    int status = 0;
+    std::string body;
+};
+
+/// One blocking round trip: connect, send `method target` with `body`
+/// (Content-Length set, Connection: close), read the response to EOF,
+/// parse status + body. `timeout_ms` bounds connect/send/receive
+/// individually (SO_SNDTIMEO/SO_RCVTIMEO). Empty optional on any
+/// transport failure.
+std::optional<HttpClientResponse> http_request(const Endpoint& endpoint,
+                                               const std::string& method,
+                                               const std::string& target,
+                                               const std::string& body,
+                                               int timeout_ms = 10000);
+
+} // namespace dynamo::dist

@@ -1,0 +1,120 @@
+// dynamo/dist/lease_table.cpp
+//
+// See lease_table.hpp for the lifecycle, lazy-expiry, and first-valid-
+// result-wins contracts this implements.
+#include "dist/lease_table.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dynamo::dist {
+
+LeaseTable::LeaseTable(std::vector<std::size_t> pending, LeaseTableOptions options)
+    : options_(options) {
+    DYNAMO_REQUIRE(options_.batch >= 1, "lease batch must be at least 1");
+    for (const std::size_t index : pending) {
+        const bool fresh = states_.emplace(index, State::Queued).second;
+        DYNAMO_REQUIRE(fresh, "duplicate pending index in lease table");
+        queue_.push_back(index);
+    }
+}
+
+LeaseTable::Grant LeaseTable::acquire(const std::string& worker, std::size_t capacity,
+                                      std::uint64_t now_ms) {
+    expire(now_ms);
+    Grant grant;
+    const std::size_t want = std::min(std::max<std::size_t>(capacity, 1), options_.batch);
+    while (grant.indices.size() < want && !queue_.empty()) {
+        const std::size_t index = queue_.front();
+        queue_.pop_front();
+        // The queue may hold stale entries for indices that settled
+        // while queued (a crashed worker's late completion); skip them.
+        if (states_.at(index) != State::Queued) continue;
+        states_.at(index) = State::Leased;
+        grant.indices.push_back(index);
+    }
+    if (grant.indices.empty()) return grant;  // done or wait — caller decides
+    grant.lease_id = next_lease_id_++;
+    Lease lease;
+    lease.worker = worker;
+    lease.indices = grant.indices;
+    lease.expires_at_ms = now_ms + options_.ttl_ms;
+    leases_.emplace(grant.lease_id, std::move(lease));
+    ++leases_granted_;
+    return grant;
+}
+
+bool LeaseTable::heartbeat(std::uint64_t lease_id, std::uint64_t now_ms) {
+    expire(now_ms);
+    const auto it = leases_.find(lease_id);
+    if (it == leases_.end()) return false;
+    it->second.expires_at_ms = now_ms + options_.ttl_ms;
+    return true;
+}
+
+LeaseTable::Completion LeaseTable::complete(std::size_t index, std::uint64_t hash,
+                                            std::uint64_t now_ms) {
+    expire(now_ms);
+    const auto state = states_.find(index);
+    if (state == states_.end()) return Completion::Unknown;
+    if (state->second == State::Settled) {
+        if (settled_.at(index) == hash) {
+            ++duplicates_;
+            return Completion::Duplicate;
+        }
+        ++conflicts_;
+        return Completion::Conflict;
+    }
+    if (state->second == State::Leased) {
+        // Drop the index from whichever live lease holds it (a late
+        // completion may arrive under an already-expired lease while a
+        // REPLACEMENT lease holds the index — first valid result wins,
+        // so the replacement's copy is released too).
+        for (auto it = leases_.begin(); it != leases_.end(); ++it) {
+            auto& indices = it->second.indices;
+            const auto pos = std::find(indices.begin(), indices.end(), index);
+            if (pos == indices.end()) continue;
+            indices.erase(pos);
+            if (indices.empty()) leases_.erase(it);
+            break;
+        }
+    }
+    state->second = State::Settled;
+    settled_.emplace(index, hash);
+    return Completion::Accepted;
+}
+
+std::size_t LeaseTable::expire(std::uint64_t now_ms) {
+    std::size_t expired = 0;
+    for (auto it = leases_.begin(); it != leases_.end();) {
+        if (now_ms < it->second.expires_at_ms) {
+            ++it;
+            continue;
+        }
+        for (const std::size_t index : it->second.indices) {
+            states_.at(index) = State::Queued;
+            queue_.push_back(index);
+        }
+        it = leases_.erase(it);
+        ++expired;
+        ++leases_expired_;
+    }
+    return expired;
+}
+
+std::size_t LeaseTable::queued() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [index, state] : states_)
+        if (state == State::Queued) ++n;
+    return n;
+}
+
+std::size_t LeaseTable::leased() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [index, state] : states_)
+        if (state == State::Leased) ++n;
+    return n;
+}
+
+} // namespace dynamo::dist

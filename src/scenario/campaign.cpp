@@ -21,11 +21,9 @@ using util::Json;
 using util::JsonArray;
 using util::JsonObject;
 
-/// Execute one point against a private output buffer. Never throws: a
-/// scenario exception becomes the point's report with exit_code 2, so one
-/// bad point cannot take down a thousand-point campaign (and the failure
-/// is never cached — see run_campaign).
-CachedResult compute_point(const Scenario& scenario, const PointSpec& point) {
+} // namespace
+
+CachedResult compute_campaign_point(const Scenario& scenario, const PointSpec& point) {
     CachedResult result;
     std::ostringstream out;
     try {
@@ -41,37 +39,22 @@ CachedResult compute_point(const Scenario& scenario, const PointSpec& point) {
     return result;
 }
 
-/// The campaign progress sink: one JSONL record per point over the shared
-/// serialized writer (io/jsonl.hpp), which owns the interleaving, flush-
-/// per-line, and flush-on-drop guarantees both campaign passes rely on.
-class ProgressEmitter {
-  public:
-    explicit ProgressEmitter(std::ostream* out) : writer_(out) {}
+void CampaignProgressEmitter::emit(std::size_t index, const char* status,
+                                   const CampaignPoint& point) {
+    if (!writer_.enabled()) return;
+    JsonObject params;
+    for (const auto& [k, v] : point.spec.params) params.emplace_back(k, Json(v));
+    JsonObject metrics;
+    for (const auto& [k, v] : point.result.metrics) metrics.emplace_back(k, Json(v));
+    JsonObject line;
+    line.emplace_back("index", Json(static_cast<std::uint64_t>(index)));
+    line.emplace_back("status", Json(std::string(status)));
+    line.emplace_back("exit_code", Json(static_cast<std::int64_t>(point.result.exit_code)));
+    line.emplace_back("params", Json(std::move(params)));
+    line.emplace_back("metrics", Json(std::move(metrics)));
+    writer_.write(Json(std::move(line)));
+}
 
-    void emit(std::size_t index, const char* status, const CampaignPoint& point) {
-        if (!writer_.enabled()) return;
-        JsonObject params;
-        for (const auto& [k, v] : point.spec.params) params.emplace_back(k, Json(v));
-        JsonObject metrics;
-        for (const auto& [k, v] : point.result.metrics) metrics.emplace_back(k, Json(v));
-        JsonObject line;
-        line.emplace_back("index", Json(static_cast<std::uint64_t>(index)));
-        line.emplace_back("status", Json(std::string(status)));
-        line.emplace_back("exit_code", Json(static_cast<std::int64_t>(point.result.exit_code)));
-        line.emplace_back("params", Json(std::move(params)));
-        line.emplace_back("metrics", Json(std::move(metrics)));
-        writer_.write(Json(std::move(line)));
-    }
-
-  private:
-    io::JsonlWriter writer_;
-};
-
-/// Fingerprint of the campaign a checkpoint belongs to: scenario name,
-/// combined epoch, shard layout, and every expanded point's canonical
-/// cache-key string — any edit to the manifest (grid, seed, repetitions,
-/// fixed bindings) lands in some point's canonical params and moves the
-/// fingerprint, as does an epoch bump or a different shard split.
 std::uint64_t campaign_fingerprint(const std::string& scenario_name, int epoch,
                                    unsigned shard_index, unsigned shard_count,
                                    const std::vector<PointSpec>& specs) {
@@ -93,8 +76,6 @@ std::uint64_t campaign_fingerprint(const std::string& scenario_name, int epoch,
     }
     return h;
 }
-
-} // namespace
 
 CampaignOutcome run_campaign(const Manifest& manifest, const CampaignOptions& options) {
     const Scenario* scenario = find(manifest.scenario);
@@ -132,7 +113,7 @@ CampaignOutcome run_campaign(const Manifest& manifest, const CampaignOptions& op
         outcome.resumed = checkpoint->resumed();
     }
 
-    ProgressEmitter progress(options.progress);
+    CampaignProgressEmitter progress(options.progress);
 
     // Pass 1 (serial): satisfy points from the cache, collect the misses.
     // A checkpointed point is served from the cache even under --force —
@@ -171,7 +152,7 @@ CampaignOutcome run_campaign(const Manifest& manifest, const CampaignOptions& op
     parallel_for_blocks(options.pool, missing.size(), 1, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t j = lo; j < hi; ++j) {
             CampaignPoint& point = outcome.points[missing[j]];
-            point.result = compute_point(*scenario, point.spec);
+            point.result = compute_campaign_point(*scenario, point.spec);
             if (point.result.exit_code == 0) {
                 const CacheKey key{manifest.scenario, epoch, point.spec.params};
                 cache.store(key, point.result);

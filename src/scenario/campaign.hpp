@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "io/jsonl.hpp"
 #include "scenario/cache.hpp"
 #include "scenario/manifest.hpp"
 #include "util/parallel.hpp"
@@ -118,5 +119,43 @@ struct CampaignOutcome {
 /// different campaign); per-point scenario exceptions are captured into
 /// that point's report with exit_code 2 and counted in `failed`.
 CampaignOutcome run_campaign(const Manifest& manifest, const CampaignOptions& options = {});
+
+/// Execute one expanded point against a private output buffer. Never
+/// throws: a scenario exception becomes the point's report with exit_code
+/// 2, so one bad point cannot take down a thousand-point campaign. This
+/// is THE point-execution primitive — the campaign compute pass and the
+/// distributed worker (dist/worker.hpp) both run points through it, which
+/// is what makes a distributed campaign's results bit-identical to a
+/// local run's: placement chooses who calls this, never what it returns.
+CachedResult compute_campaign_point(const Scenario& scenario, const PointSpec& point);
+
+/// Fingerprint of the campaign a checkpoint belongs to: scenario name,
+/// combined epoch, shard layout, and every expanded point's canonical
+/// cache-key string — any edit to the manifest (grid, seed, repetitions,
+/// fixed bindings) lands in some point's canonical params and moves the
+/// fingerprint, as does an epoch bump or a different shard split. Shared
+/// by the campaign driver and the distributed coordinator so a killed
+/// coordinator's checkpoint resumes under `dynamo campaign` and vice
+/// versa.
+std::uint64_t campaign_fingerprint(const std::string& scenario_name, int epoch,
+                                   unsigned shard_index, unsigned shard_count,
+                                   const std::vector<PointSpec>& specs);
+
+/// The campaign progress sink: one JSONL record per settled point —
+/// {"index", "status": "cached"|"computed"|"failed", "exit_code",
+/// "params", "metrics"} — over the shared serialized writer
+/// (io/jsonl.hpp), which owns the interleaving, flush-per-line, and
+/// flush-on-drop guarantees. Used by both campaign passes and by the
+/// distributed coordinator, so every execution mode streams the same
+/// record shape.
+class CampaignProgressEmitter {
+  public:
+    explicit CampaignProgressEmitter(std::ostream* out) : writer_(out) {}
+
+    void emit(std::size_t index, const char* status, const CampaignPoint& point);
+
+  private:
+    io::JsonlWriter writer_;
+};
 
 } // namespace dynamo::scenario

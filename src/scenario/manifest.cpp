@@ -199,6 +199,29 @@ std::vector<PointSpec> expand(const Manifest& manifest) {
     DYNAMO_REQUIRE(total <= 1'000'000, "manifest expands to " + std::to_string(total) +
                                            " points; the driver caps campaigns at 1e6");
 
+    // Adaptive union budget: a campaign of adaptive points is a family
+    // of CONCURRENT confidence sequences, and its simultaneous 1 - delta
+    // guarantee needs delta split across all of them (docs/statistics.md).
+    // When the scenario exposes that split (a `union` parameter next to
+    // `ci_target`) and the manifest requests adaptive stopping (binds
+    // `ci_target`) without choosing a budget, inject union = the
+    // expansion size — every point of the campaign is one member of the
+    // union. An explicit `union` binding always wins (the author may be
+    // combining several manifests into one atlas); scenarios or
+    // manifests without adaptive stopping are untouched, so fixed-trial
+    // campaigns keep their cache identity.
+    const bool inject_union = [&] {
+        if (find_param(*s, "union") == nullptr || find_param(*s, "ci_target") == nullptr)
+            return false;
+        bool ci_bound = manifest.fixed.count("ci_target") != 0;
+        bool union_bound = manifest.fixed.count("union") != 0;
+        for (const GridAxis& axis : manifest.grid) {
+            ci_bound = ci_bound || axis.key == "ci_target";
+            union_bound = union_bound || axis.key == "union";
+        }
+        return ci_bound && !union_bound;
+    }();
+
     std::vector<PointSpec> points;
     points.reserve(total);
     for (std::uint64_t rep = 0; rep < manifest.repetitions; ++rep) {
@@ -217,6 +240,7 @@ std::vector<PointSpec> expand(const Manifest& manifest) {
                 point.params["seed"] =
                     std::to_string(substream_seed(manifest.seed, point.index));
             }
+            if (inject_union) point.params["union"] = std::to_string(total);
             points.push_back(std::move(point));
             for (std::size_t a = manifest.grid.size(); a-- > 0;) {
                 if (++cursor[a] < manifest.grid[a].values.size()) break;

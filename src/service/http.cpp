@@ -11,7 +11,9 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -206,6 +208,20 @@ void HttpServer::serve_forever(
 
 void HttpServer::stop() {
     if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void write_port_file(const std::string& path, std::uint16_t port) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::runtime_error("cannot write port file '" + path + "'");
+        out << port << "\n";
+        out.flush();
+        if (!out) throw std::runtime_error("cannot write port file '" + path + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw std::runtime_error("cannot publish port file '" + path + "': " +
+                                 std::strerror(errno));
 }
 
 } // namespace dynamo::service

@@ -47,6 +47,14 @@ std::string render_http_response(const HttpResponse& response);
 /// "Unknown" otherwise.
 const char* http_status_text(int status);
 
+/// Write the bound port to `path` ATOMICALLY: stage into a temp file,
+/// flush, rename over the target. Scripts watching for the file (the
+/// `--port-file=` flag of `dynamo serve` / `dynamo coordinate`) can
+/// therefore never read a partially written port — the file either does
+/// not exist yet or holds the complete "PORT\n" line. Throws
+/// std::runtime_error when the path is unwritable.
+void write_port_file(const std::string& path, std::uint16_t port);
+
 /// A serial loopback HTTP server. Lifecycle: construct (binds + listens,
 /// throws std::runtime_error on failure), serve_forever(handler) from the
 /// thread that owns the loop, stop() from any other thread to make

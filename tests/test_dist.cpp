@@ -1,0 +1,911 @@
+// Tests for the fault-tolerant distributed campaign fabric (src/dist/):
+//   * backoff — the retry schedule's exponential growth, cap saturation,
+//     jitter bounds, and per-seed determinism, all without sleeping;
+//   * protocol — codec round-trips for every message, loud rejection of
+//     malformed bodies, and result_hash as the duplicate-vs-conflict
+//     discriminator;
+//   * lease table — the clockless scheduling core under fake timelines:
+//     TTL expiry + requeue, heartbeat renewal, the crashed-worker races
+//     (first valid result wins; matching duplicates are benign;
+//     mismatching duplicates are conflicts);
+//   * coordinator — socketless handle() routing of the whole endpoint
+//     surface with an injected clock, the placement-independence
+//     invariant (distributed artifact byte-identical to run_campaign),
+//     and kill-and-resume through the shared cache + checkpoint;
+//   * worker — every terminal state of the loop via scripted transports
+//     and recorded sleepers (retry counting, shutdown-vs-unreachable,
+//     fingerprint mismatch, immediate done);
+//   * one real loopback end-to-end: HttpServer + coordinator + two
+//     WorkerLoop threads, artifact still byte-identical.
+//
+// The probe scenario registered here exists only in this binary (the
+// registry is process-local and register_scenario is public), so the
+// committed catalog in docs/scenarios.md is unaffected.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dist/backoff.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/http_client.hpp"
+#include "dist/lease_table.hpp"
+#include "dist/protocol.hpp"
+#include "dist/worker.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/manifest.hpp"
+#include "scenario/scenario.hpp"
+#include "service/http.hpp"
+#include "util/json.hpp"
+
+namespace dynamo {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace dist;
+using scenario::CampaignOptions;
+using scenario::Manifest;
+using scenario::parse_manifest;
+using scenario::PointSpec;
+using scenario::run_campaign;
+using service::HttpRequest;
+using service::HttpResponse;
+using service::HttpServer;
+
+/// Fresh per-test scratch directory under the system temp dir.
+class ScratchDir {
+  public:
+    explicit ScratchDir(const std::string& tag)
+        : path_((fs::temp_directory_path() /
+                 ("dynamo_dist_" + tag + "_" +
+                  std::to_string(::testing::UnitTest::GetInstance()->random_seed())))
+                    .string()) {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~ScratchDir() { fs::remove_all(path_); }
+    const std::string& path() const noexcept { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/// Test-only probe point: echoes --value and the injected --seed into
+/// its metrics, fails (exit 1) when --fail_value matches — cheap,
+/// deterministic material for lease/completion plumbing.
+int dist_probe_fn(scenario::Context& ctx) {
+    const std::int64_t value = ctx.args.get_int("value", 1);
+    ctx.metrics["value"] = std::to_string(value);
+    ctx.metrics["seed"] = std::to_string(ctx.args.get_uint64("seed", 0));
+    if (value == ctx.args.get_int("fail_value", -1)) {
+        ctx.out << "probe: induced failure for value " << value << "\n";
+        return 1;
+    }
+    ctx.out << "probe: value " << value << "\n";
+    return 0;
+}
+
+[[maybe_unused]] const bool kProbeRegistered = scenario::register_scenario(
+    {"dist_probe",
+     "point",
+     "test-only probe point for distributed-fabric tests",
+     0,
+     {{"value", scenario::ParamType::Int, "1", "", "echoed into metrics"},
+      {"seed", scenario::ParamType::Uint, "0", "", "RNG substream slot (echoed)"},
+      {"fail_value", scenario::ParamType::Int, "-1", "", "fail iff value matches"}},
+     dist_probe_fn});
+
+constexpr const char* kManifestText =
+    R"({"name": "dist-probe", "scenario": "dist_probe",)"
+    R"( "grid": {"value": [1, 2, 3, 4, 5, 6]}, "seed": 17})";
+
+Manifest probe_manifest() { return parse_manifest(kManifestText, "test-manifest"); }
+
+/// The worker-side computation for one granted index, via the same
+/// primitive the real worker uses.
+PointResult compute_result(const std::vector<PointSpec>& specs, std::size_t index) {
+    const scenario::Scenario* s = scenario::find("dist_probe");
+    const scenario::CachedResult computed = scenario::compute_campaign_point(*s, specs[index]);
+    PointResult result;
+    result.index = index;
+    result.exit_code = computed.exit_code;
+    result.metrics = computed.metrics;
+    result.report = computed.report;
+    return result;
+}
+
+HttpRequest make_request(const std::string& method, const std::string& target,
+                         const std::string& body = "") {
+    HttpRequest request;
+    request.method = method;
+    request.target = target;
+    request.body = body;
+    return request;
+}
+
+/// WorkerLoop transport that routes straight into a coordinator's
+/// handle() at a controllable fake time — no sockets, no threads.
+WorkerLoop::Transport coordinator_transport(CampaignCoordinator& coordinator,
+                                            std::uint64_t* now_ms) {
+    return [&coordinator, now_ms](const std::string& method, const std::string& target,
+                                  const std::string& body)
+               -> std::optional<HttpClientResponse> {
+        const HttpResponse response =
+            coordinator.handle(make_request(method, target, body), *now_ms);
+        return HttpClientResponse{response.status, response.body};
+    };
+}
+
+std::uint64_t steady_now_ms() {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                          std::chrono::steady_clock::now().time_since_epoch())
+                                          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+
+TEST(Backoff, ScheduleGrowsWithinJitterBoundsAndSaturates) {
+    BackoffPolicy policy;
+    policy.base_ms = 50;
+    policy.cap_ms = 2000;
+    policy.jitter_seed = 12345;
+
+    std::uint64_t raw = policy.base_ms;
+    for (unsigned attempt = 0; attempt < 12; ++attempt) {
+        const std::uint64_t delay = backoff_delay_ms(policy, attempt);
+        EXPECT_GE(delay, raw / 2) << "attempt " << attempt;
+        EXPECT_LE(delay, raw) << "attempt " << attempt;
+        raw = std::min<std::uint64_t>(raw * 2, policy.cap_ms);
+    }
+    // Far past the doubling range the raw delay sits AT the cap (never
+    // beyond, never overflowed back down).
+    const std::uint64_t late = backoff_delay_ms(policy, 63);
+    EXPECT_GE(late, policy.cap_ms / 2);
+    EXPECT_LE(late, policy.cap_ms);
+}
+
+TEST(Backoff, DeterministicPerSeedAndDecorrelatedAcrossSeeds) {
+    BackoffPolicy a;
+    a.jitter_seed = 7;
+    BackoffPolicy b = a;
+    b.jitter_seed = 8;
+
+    bool any_differ = false;
+    for (unsigned attempt = 0; attempt < 10; ++attempt) {
+        // Pure function of (policy, attempt): re-evaluation is identical.
+        EXPECT_EQ(backoff_delay_ms(a, attempt), backoff_delay_ms(a, attempt));
+        any_differ = any_differ || backoff_delay_ms(a, attempt) != backoff_delay_ms(b, attempt);
+    }
+    EXPECT_TRUE(any_differ) << "two jitter seeds produced identical schedules";
+}
+
+TEST(Backoff, TinyDelaysSkipJitter) {
+    BackoffPolicy policy;
+    policy.base_ms = 0;
+    EXPECT_EQ(backoff_delay_ms(policy, 0), 0u);
+    policy.base_ms = 1;
+    EXPECT_EQ(backoff_delay_ms(policy, 0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+
+TEST(Protocol, EveryMessageRoundTrips) {
+    LeaseRequest lease_request{"w-1", 8};
+    const LeaseRequest lr = parse_lease_request(render_lease_request(lease_request));
+    EXPECT_EQ(lr.worker, "w-1");
+    EXPECT_EQ(lr.capacity, 8u);
+
+    LeaseGrant grant;
+    grant.lease_id = 42;
+    grant.indices = {3, 1, 4};
+    grant.ttl_ms = 1500;
+    const LeaseGrant g = parse_lease_grant(render_lease_grant(grant));
+    EXPECT_FALSE(g.done);
+    EXPECT_FALSE(g.wait);
+    EXPECT_EQ(g.lease_id, 42u);
+    EXPECT_EQ(g.indices, (std::vector<std::size_t>{3, 1, 4}));
+    EXPECT_EQ(g.ttl_ms, 1500u);
+
+    LeaseGrant done;
+    done.done = true;
+    EXPECT_TRUE(parse_lease_grant(render_lease_grant(done)).done);
+
+    const HeartbeatRequest hb = parse_heartbeat_request(render_heartbeat_request({"w-2", 9}));
+    EXPECT_EQ(hb.worker, "w-2");
+    EXPECT_EQ(hb.lease_id, 9u);
+
+    CompleteRequest completion;
+    completion.worker = "w-3";
+    completion.lease_id = 5;
+    completion.fingerprint = hex16(0xdeadbeefULL);
+    PointResult result;
+    result.index = 11;
+    result.exit_code = 2;
+    result.metrics = {{"rounds", "7"}, {"note", "line\nwith \"quotes\""}};
+    result.report = "multi\nline report\twith tabs";
+    completion.results.push_back(result);
+    const CompleteRequest c = parse_complete_request(render_complete_request(completion));
+    EXPECT_EQ(c.worker, "w-3");
+    EXPECT_EQ(c.lease_id, 5u);
+    EXPECT_EQ(c.fingerprint, "00000000deadbeef");
+    ASSERT_EQ(c.results.size(), 1u);
+    EXPECT_EQ(c.results[0].index, 11u);
+    EXPECT_EQ(c.results[0].exit_code, 2);
+    EXPECT_EQ(c.results[0].metrics, result.metrics);
+    EXPECT_EQ(c.results[0].report, result.report);
+
+    const CompleteReply reply = parse_complete_reply(render_complete_reply({4, 2, 1}));
+    EXPECT_EQ(reply.accepted, 4u);
+    EXPECT_EQ(reply.duplicates, 2u);
+    EXPECT_EQ(reply.conflicts, 1u);
+}
+
+TEST(Protocol, MalformedBodiesThrowActionably) {
+    EXPECT_THROW(parse_lease_request("{"), std::invalid_argument);
+    EXPECT_THROW(parse_lease_request(R"({"worker": "w"})"), std::invalid_argument);
+    EXPECT_THROW(parse_lease_request(R"({"worker": "w", "capacity": 0})"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_lease_grant(R"([1, 2])"), std::invalid_argument);
+    EXPECT_THROW(parse_lease_grant(R"({"lease_id": 1, "ttl_ms": 5, "indices": [-1]})"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_heartbeat_request(R"({"worker": "w"})"), std::invalid_argument);
+    EXPECT_THROW(parse_complete_request(R"({"worker": "w", "lease_id": 1})"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_complete_reply(R"({"accepted": 1})"), std::invalid_argument);
+}
+
+TEST(Protocol, ResultHashDiscriminatesPayloads) {
+    PointResult a;
+    a.exit_code = 0;
+    a.metrics = {{"k", "1"}};
+    a.report = "report";
+    PointResult same = a;
+    EXPECT_EQ(result_hash(a), result_hash(same));
+
+    PointResult exit_differs = a;
+    exit_differs.exit_code = 1;
+    PointResult metric_differs = a;
+    metric_differs.metrics["k"] = "2";
+    PointResult report_differs = a;
+    report_differs.report = "other";
+    EXPECT_NE(result_hash(a), result_hash(exit_differs));
+    EXPECT_NE(result_hash(a), result_hash(metric_differs));
+    EXPECT_NE(result_hash(a), result_hash(report_differs));
+
+    // The separator keeps (key, value) boundaries unambiguous.
+    PointResult ab;
+    ab.metrics = {{"ab", "c"}};
+    PointResult a_bc;
+    a_bc.metrics = {{"a", "bc"}};
+    EXPECT_NE(result_hash(ab), result_hash(a_bc));
+}
+
+// ---------------------------------------------------------------------------
+// Lease table
+
+TEST(LeaseTable, GrantsRespectBatchAndCapacity) {
+    LeaseTableOptions options;
+    options.batch = 3;
+    LeaseTable table({0, 1, 2, 3, 4}, options);
+
+    // capacity > batch clamps to batch; queue order is preserved.
+    const LeaseTable::Grant big = table.acquire("w", 10, 0);
+    EXPECT_EQ(big.indices, (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_NE(big.lease_id, 0u);
+
+    // capacity < batch grants capacity; capacity 0 is treated as 1.
+    EXPECT_EQ(table.acquire("w", 1, 0).indices, (std::vector<std::size_t>{3}));
+    EXPECT_EQ(table.acquire("w", 0, 0).indices, (std::vector<std::size_t>{4}));
+
+    // Everything is out on live leases: empty grant, not settled.
+    EXPECT_TRUE(table.acquire("w", 4, 0).indices.empty());
+    EXPECT_FALSE(table.all_settled());
+    EXPECT_EQ(table.queued(), 0u);
+    EXPECT_EQ(table.leased(), 5u);
+    EXPECT_EQ(table.leases_granted(), 3u);
+}
+
+TEST(LeaseTable, ExpiryRequeuesUnfinishedWork) {
+    LeaseTableOptions options;
+    options.ttl_ms = 100;
+    options.batch = 2;
+    LeaseTable table({0, 1}, options);
+
+    const LeaseTable::Grant first = table.acquire("w1", 2, 1000);
+    ASSERT_EQ(first.indices.size(), 2u);
+
+    // Before the deadline the lease holds its work hostage...
+    EXPECT_TRUE(table.acquire("w2", 2, 1099).indices.empty());
+    EXPECT_TRUE(table.heartbeat(first.lease_id, 1099));
+
+    // The heartbeat moved the deadline to 1099 + 100; past it, the next
+    // acquire sweeps the lease and re-grants the same indices.
+    const LeaseTable::Grant second = table.acquire("w2", 2, 1199);
+    EXPECT_EQ(second.indices, first.indices);
+    EXPECT_NE(second.lease_id, first.lease_id);
+    EXPECT_EQ(table.leases_expired(), 1u);
+
+    // The dead lease no longer heartbeats.
+    EXPECT_FALSE(table.heartbeat(first.lease_id, 1200));
+    EXPECT_FALSE(table.heartbeat(999999, 1200));  // never-issued id
+}
+
+TEST(LeaseTable, CrashedWorkerRaceIsFirstValidWins) {
+    LeaseTableOptions options;
+    options.ttl_ms = 50;
+    options.batch = 1;
+    LeaseTable table({7}, options);
+
+    // w1 takes index 7, stalls past its TTL; the index is re-granted.
+    const LeaseTable::Grant w1 = table.acquire("w1", 1, 0);
+    const LeaseTable::Grant w2 = table.acquire("w2", 1, 100);
+    ASSERT_EQ(w1.indices, w2.indices);
+
+    // The replacement finishes first: accepted. w1's late completion of
+    // the same (deterministic) payload is a benign duplicate.
+    EXPECT_EQ(table.complete(7, 0xabcULL, 110), LeaseTable::Completion::Accepted);
+    EXPECT_TRUE(table.all_settled());
+    EXPECT_EQ(table.complete(7, 0xabcULL, 120), LeaseTable::Completion::Duplicate);
+    EXPECT_EQ(table.duplicates(), 1u);
+
+    // A DIFFERENT payload for a settled index is a determinism breach.
+    EXPECT_EQ(table.complete(7, 0xdefULL, 130), LeaseTable::Completion::Conflict);
+    EXPECT_EQ(table.conflicts(), 1u);
+
+    // An index the campaign never owned.
+    EXPECT_EQ(table.complete(99, 0x1ULL, 140), LeaseTable::Completion::Unknown);
+}
+
+TEST(LeaseTable, SlowWorkerBeatenByTtlStillLandsFirst) {
+    LeaseTableOptions options;
+    options.ttl_ms = 50;
+    options.batch = 1;
+    LeaseTable table({3}, options);
+
+    const LeaseTable::Grant w1 = table.acquire("w1", 1, 0);
+    ASSERT_EQ(w1.indices, (std::vector<std::size_t>{3}));
+    // TTL passes, the index is re-granted to w2 — but w1 finishes before
+    // w2 does. Its work is valid (pure function of the index): accepted.
+    const LeaseTable::Grant w2 = table.acquire("w2", 1, 60);
+    ASSERT_EQ(w2.indices, (std::vector<std::size_t>{3}));
+    EXPECT_EQ(table.complete(3, 0x11ULL, 70), LeaseTable::Completion::Accepted);
+    // w2's eventual identical result: duplicate, not conflict.
+    EXPECT_EQ(table.complete(3, 0x11ULL, 80), LeaseTable::Completion::Duplicate);
+    EXPECT_TRUE(table.all_settled());
+}
+
+TEST(LeaseTable, DrainsToAllSettled) {
+    LeaseTableOptions options;
+    options.batch = 2;
+    LeaseTable table({0, 1, 2}, options);
+
+    for (;;) {
+        const LeaseTable::Grant grant = table.acquire("w", 2, 0);
+        if (grant.indices.empty()) break;
+        for (const std::size_t index : grant.indices)
+            EXPECT_EQ(table.complete(index, 0x5eedULL + index, 0),
+                      LeaseTable::Completion::Accepted);
+    }
+    EXPECT_TRUE(table.all_settled());
+    EXPECT_EQ(table.settled(), 3u);
+    EXPECT_EQ(table.queued(), 0u);
+    EXPECT_EQ(table.leased(), 0u);
+    // An empty table (everything cached up front) is born settled.
+    EXPECT_TRUE(LeaseTable({}, options).all_settled());
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator (socketless, injected clock)
+
+CoordinatorOptions coordinator_options(const ScratchDir& scratch,
+                                       const std::string& checkpoint = "") {
+    CoordinatorOptions options;
+    options.cache_dir = scratch.path() + "/cache";
+    options.checkpoint = checkpoint;
+    options.lease_ttl_ms = 1000;
+    options.batch = 4;
+    return options;
+}
+
+/// Drive one worker identity through lease -> compute -> complete until
+/// the coordinator reports done.
+void drain(CampaignCoordinator& coordinator, const std::vector<PointSpec>& specs,
+           const std::string& worker, std::uint64_t now_ms) {
+    for (;;) {
+        const HttpResponse response = coordinator.handle(
+            make_request("POST", "/lease", render_lease_request({worker, 4})), now_ms);
+        EXPECT_EQ(response.status, 200);
+        const LeaseGrant grant = parse_lease_grant(response.body);
+        if (grant.done) return;
+        ASSERT_FALSE(grant.indices.empty()) << "wait with a single worker means a stall";
+        CompleteRequest completion;
+        completion.worker = worker;
+        completion.lease_id = grant.lease_id;
+        completion.fingerprint = coordinator.fingerprint_hex();
+        for (const std::size_t index : grant.indices)
+            completion.results.push_back(compute_result(specs, index));
+        const HttpResponse reply = coordinator.handle(
+            make_request("POST", "/complete", render_complete_request(completion)), now_ms);
+        EXPECT_EQ(reply.status, 200);
+        EXPECT_EQ(parse_complete_reply(reply.body).accepted, grant.indices.size());
+    }
+}
+
+TEST(Coordinator, ServesManifestVerbatimAndStatus) {
+    const ScratchDir scratch("manifest");
+    CampaignCoordinator coordinator(probe_manifest(), kManifestText,
+                                    coordinator_options(scratch));
+
+    const HttpResponse health = coordinator.handle(make_request("GET", "/healthz"), 0);
+    EXPECT_EQ(health.status, 200);
+    EXPECT_NE(health.body.find("coordinator"), std::string::npos);
+
+    const HttpResponse manifest = coordinator.handle(make_request("GET", "/manifest"), 0);
+    EXPECT_EQ(manifest.status, 200);
+    const util::Json envelope = util::Json::parse(manifest.body, "envelope");
+    EXPECT_EQ(envelope.find("fingerprint")->as_string(), coordinator.fingerprint_hex());
+    EXPECT_EQ(envelope.find("points")->as_int(), 6);
+    // VERBATIM text — workers re-expand the coordinator's exact grid.
+    EXPECT_EQ(envelope.find("manifest")->as_string(), kManifestText);
+
+    const HttpResponse status = coordinator.handle(make_request("GET", "/status"), 0);
+    EXPECT_EQ(status.status, 200);
+    const util::Json counters = util::Json::parse(status.body, "status");
+    EXPECT_EQ(counters.find("points")->as_int(), 6);
+    EXPECT_EQ(counters.find("queued")->as_int(), 6);
+    EXPECT_FALSE(counters.find("done")->as_bool());
+
+    EXPECT_EQ(coordinator.handle(make_request("GET", "/nope"), 0).status, 404);
+    EXPECT_EQ(coordinator.handle(make_request("POST", "/lease", "{"), 0).status, 400);
+}
+
+TEST(Coordinator, DistributedArtifactIsByteIdenticalToLocalRun) {
+    const ScratchDir scratch("identical");
+    const Manifest manifest = probe_manifest();
+
+    // Reference: a plain local campaign in its own cache.
+    CampaignOptions local;
+    local.cache_dir = scratch.path() + "/cache-local";
+    const std::string local_json = run_campaign(manifest, local).to_json(manifest);
+
+    CampaignCoordinator coordinator(manifest, kManifestText, coordinator_options(scratch));
+    const std::vector<PointSpec> specs = scenario::expand(manifest);
+    drain(coordinator, specs, "w1", 0);
+
+    EXPECT_TRUE(coordinator.complete());
+    EXPECT_EQ(coordinator.conflicts(), 0u);
+    EXPECT_EQ(coordinator.artifact(), local_json);
+    EXPECT_NE(coordinator.summary().find("fabric:"), std::string::npos);
+}
+
+TEST(Coordinator, LeaseExpiryRecyclesAndHeartbeatKeepsAlive) {
+    const ScratchDir scratch("expiry");
+    CoordinatorOptions options = coordinator_options(scratch);
+    options.batch = 6;
+    CampaignCoordinator coordinator(probe_manifest(), kManifestText, options);
+
+    const HttpResponse granted = coordinator.handle(
+        make_request("POST", "/lease", render_lease_request({"w1", 6})), 0);
+    const LeaseGrant first = parse_lease_grant(granted.body);
+    ASSERT_EQ(first.indices.size(), 6u);
+    EXPECT_EQ(first.ttl_ms, options.lease_ttl_ms);
+
+    // Inside the TTL: nothing to grant, the worker is told to wait; a
+    // heartbeat renews the lease.
+    const LeaseGrant wait = parse_lease_grant(
+        coordinator.handle(make_request("POST", "/lease", render_lease_request({"w2", 2})), 500)
+            .body);
+    EXPECT_TRUE(wait.wait);
+    EXPECT_EQ(coordinator
+                  .handle(make_request("POST", "/heartbeat",
+                                       render_heartbeat_request({"w1", first.lease_id})),
+                          900)
+                  .status,
+              200);
+
+    // 900 + ttl passes without another heartbeat: the work is recycled.
+    const LeaseGrant second = parse_lease_grant(
+        coordinator
+            .handle(make_request("POST", "/lease", render_lease_request({"w2", 6})), 2000)
+            .body);
+    EXPECT_EQ(second.indices, first.indices);
+
+    // The dead lease's heartbeat is 410 Gone.
+    EXPECT_EQ(coordinator
+                  .handle(make_request("POST", "/heartbeat",
+                                       render_heartbeat_request({"w1", first.lease_id})),
+                          2001)
+                  .status,
+              410);
+}
+
+TEST(Coordinator, DuplicateAndConflictingCompletions) {
+    const ScratchDir scratch("dup");
+    CampaignCoordinator coordinator(probe_manifest(), kManifestText,
+                                    coordinator_options(scratch));
+    const std::vector<PointSpec> specs = scenario::expand(probe_manifest());
+
+    const LeaseGrant grant = parse_lease_grant(
+        coordinator.handle(make_request("POST", "/lease", render_lease_request({"w1", 2})), 0)
+            .body);
+    ASSERT_EQ(grant.indices.size(), 2u);
+
+    CompleteRequest completion;
+    completion.worker = "w1";
+    completion.lease_id = grant.lease_id;
+    completion.fingerprint = coordinator.fingerprint_hex();
+    for (const std::size_t index : grant.indices)
+        completion.results.push_back(compute_result(specs, index));
+
+    // Wrong fingerprint first: 409, nothing settles.
+    CompleteRequest wrong = completion;
+    wrong.fingerprint = hex16(0x1234ULL);
+    EXPECT_EQ(coordinator
+                  .handle(make_request("POST", "/complete", render_complete_request(wrong)), 0)
+                  .status,
+              409);
+    EXPECT_EQ(coordinator.settled_points(), 0u);
+
+    // First valid completion: accepted.
+    const CompleteReply accepted = parse_complete_reply(
+        coordinator
+            .handle(make_request("POST", "/complete", render_complete_request(completion)), 0)
+            .body);
+    EXPECT_EQ(accepted.accepted, 2u);
+
+    // The crashed-worker replay: same payload, benign duplicates.
+    const CompleteReply replay = parse_complete_reply(
+        coordinator
+            .handle(make_request("POST", "/complete", render_complete_request(completion)), 0)
+            .body);
+    EXPECT_EQ(replay.accepted, 0u);
+    EXPECT_EQ(replay.duplicates, 2u);
+
+    // A tampered payload for a settled index: conflict, tracked for the
+    // CLI's loud exit-4.
+    CompleteRequest tampered = completion;
+    tampered.results.resize(1);
+    tampered.results[0].metrics["value"] = "corrupted";
+    const CompleteReply conflicted = parse_complete_reply(
+        coordinator
+            .handle(make_request("POST", "/complete", render_complete_request(tampered)), 0)
+            .body);
+    EXPECT_EQ(conflicted.conflicts, 1u);
+    EXPECT_EQ(coordinator.conflicts(), 1u);
+
+    // An index outside the expansion: 400.
+    CompleteRequest foreign = completion;
+    foreign.results.resize(1);
+    foreign.results[0].index = 999;
+    EXPECT_EQ(coordinator
+                  .handle(make_request("POST", "/complete", render_complete_request(foreign)), 0)
+                  .status,
+              400);
+}
+
+TEST(Coordinator, KilledCoordinatorResumesExactly) {
+    const ScratchDir scratch("resume");
+    const Manifest manifest = probe_manifest();
+    const std::vector<PointSpec> specs = scenario::expand(manifest);
+    const std::string checkpoint = scratch.path() + "/ledger.jsonl";
+
+    CampaignOptions local;
+    local.cache_dir = scratch.path() + "/cache-local";
+    const std::string local_json = run_campaign(manifest, local).to_json(manifest);
+
+    std::string fingerprint;
+    {
+        // First life: settle exactly one 2-point lease, then "crash"
+        // (destruction without rendering).
+        CampaignCoordinator coordinator(manifest, kManifestText,
+                                        coordinator_options(scratch, checkpoint));
+        fingerprint = coordinator.fingerprint_hex();
+        const LeaseGrant grant = parse_lease_grant(
+            coordinator
+                .handle(make_request("POST", "/lease", render_lease_request({"w1", 2})), 0)
+                .body);
+        ASSERT_EQ(grant.indices.size(), 2u);
+        CompleteRequest completion;
+        completion.worker = "w1";
+        completion.lease_id = grant.lease_id;
+        completion.fingerprint = fingerprint;
+        for (const std::size_t index : grant.indices)
+            completion.results.push_back(compute_result(specs, index));
+        coordinator.handle(make_request("POST", "/complete", render_complete_request(completion)),
+                           0);
+        EXPECT_EQ(coordinator.settled_points(), 2u);
+        EXPECT_FALSE(coordinator.complete());
+    }
+    {
+        // Second life: the checkpoint + cache carry the settled points
+        // in; only the remaining four are queued; the final artifact is
+        // still byte-identical to the local run.
+        CampaignCoordinator coordinator(manifest, kManifestText,
+                                        coordinator_options(scratch, checkpoint));
+        EXPECT_EQ(coordinator.fingerprint_hex(), fingerprint);
+        EXPECT_EQ(coordinator.settled_points(), 2u);
+        EXPECT_EQ(coordinator.outcome().resumed, 2u);
+        drain(coordinator, specs, "w2", 0);
+        EXPECT_TRUE(coordinator.complete());
+        EXPECT_EQ(coordinator.artifact(), local_json);
+        EXPECT_EQ(coordinator.outcome().computed, 4u);
+        EXPECT_EQ(coordinator.outcome().cached, 2u);
+    }
+    {
+        // Third life: fully warm — born complete, workers are told done
+        // immediately, artifact still byte-identical.
+        CampaignCoordinator coordinator(manifest, kManifestText,
+                                        coordinator_options(scratch, checkpoint));
+        EXPECT_TRUE(coordinator.complete());
+        const LeaseGrant grant = parse_lease_grant(
+            coordinator
+                .handle(make_request("POST", "/lease", render_lease_request({"w3", 4})), 0)
+                .body);
+        EXPECT_TRUE(grant.done);
+        EXPECT_EQ(coordinator.artifact(), local_json);
+        EXPECT_EQ(coordinator.outcome().computed, 0u);
+    }
+}
+
+TEST(Coordinator, FailingPointsAreRetriedOnResume) {
+    const ScratchDir scratch("fail");
+    const char* text =
+        R"({"name": "dist-fail", "scenario": "dist_probe",)"
+        R"( "fixed": {"fail_value": 3}, "grid": {"value": [1, 3]}, "seed": 17})";
+    const Manifest manifest = parse_manifest(text, "test-manifest");
+    const std::vector<PointSpec> specs = scenario::expand(manifest);
+    const std::string checkpoint = scratch.path() + "/ledger.jsonl";
+
+    {
+        CampaignCoordinator coordinator(manifest, text,
+                                        coordinator_options(scratch, checkpoint));
+        drain(coordinator, specs, "w1", 0);
+        EXPECT_TRUE(coordinator.complete());
+        EXPECT_EQ(coordinator.outcome().failed, 1u);
+    }
+    {
+        // Failures are neither cached nor checkpointed: the re-run
+        // queues exactly the failed point again.
+        CampaignCoordinator coordinator(manifest, text,
+                                        coordinator_options(scratch, checkpoint));
+        EXPECT_FALSE(coordinator.complete());
+        EXPECT_EQ(coordinator.settled_points(), 1u);
+        drain(coordinator, specs, "w2", 0);
+        EXPECT_EQ(coordinator.outcome().computed, 1u);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop (scripted transports, recorded sleepers)
+
+WorkerOptions worker_options(const std::string& name) {
+    WorkerOptions options;
+    options.name = name;
+    options.capacity = 2;
+    options.poll_ms = 1;
+    options.heartbeats = false;  // keep test fakes single-threaded
+    options.backoff.base_ms = 4;
+    options.backoff.cap_ms = 32;
+    options.backoff.max_attempts = 3;
+    options.backoff.jitter_seed = 99;
+    return options;
+}
+
+TEST(Worker, DrivesCampaignToCompletion) {
+    const ScratchDir scratch("worker");
+    CampaignCoordinator coordinator(probe_manifest(), kManifestText,
+                                    coordinator_options(scratch));
+    std::uint64_t now = 0;
+
+    WorkerLoop worker(coordinator_transport(coordinator, &now), worker_options("w1"),
+                      [](std::uint64_t) {});
+    EXPECT_EQ(worker.run(), WorkerExit::CampaignComplete);
+    EXPECT_EQ(worker.points_computed(), 6u);
+    EXPECT_EQ(worker.leases_completed(), 3u);  // 6 points / capacity 2
+    EXPECT_EQ(worker.retries(), 0u);
+    EXPECT_TRUE(coordinator.complete());
+
+    const ScratchDir local("worker_local");
+    CampaignOptions options;
+    options.cache_dir = local.path();
+    EXPECT_EQ(coordinator.artifact(),
+              run_campaign(probe_manifest(), options).to_json(probe_manifest()));
+}
+
+TEST(Worker, RetriesTransientFailuresWithTheBackoffSchedule) {
+    const ScratchDir scratch("retry");
+    CampaignCoordinator coordinator(probe_manifest(), kManifestText,
+                                    coordinator_options(scratch));
+    std::uint64_t now = 0;
+    const WorkerLoop::Transport real = coordinator_transport(coordinator, &now);
+
+    // The first three calls fail at the transport level, then recover.
+    std::size_t calls = 0;
+    const WorkerLoop::Transport flaky = [&](const std::string& method,
+                                            const std::string& target,
+                                            const std::string& body)
+        -> std::optional<HttpClientResponse> {
+        if (calls++ < 3) return std::nullopt;
+        return real(method, target, body);
+    };
+
+    std::vector<std::uint64_t> slept;
+    const WorkerOptions options = worker_options("w1");
+    WorkerLoop worker(flaky, options, [&slept](std::uint64_t ms) { slept.push_back(ms); });
+    EXPECT_EQ(worker.run(), WorkerExit::CampaignComplete);
+    EXPECT_EQ(worker.retries(), 3u);
+    // The recorded sleeps ARE the deterministic backoff schedule.
+    ASSERT_GE(slept.size(), 3u);
+    for (unsigned attempt = 0; attempt < 3; ++attempt)
+        EXPECT_EQ(slept[attempt], backoff_delay_ms(options.backoff, attempt));
+}
+
+TEST(Worker, NeverReachedCoordinatorIsAnError) {
+    std::size_t calls = 0;
+    WorkerLoop worker(
+        [&calls](const std::string&, const std::string&, const std::string&)
+            -> std::optional<HttpClientResponse> {
+            ++calls;
+            return std::nullopt;
+        },
+        worker_options("w1"), [](std::uint64_t) {});
+    EXPECT_EQ(worker.run(), WorkerExit::Unreachable);
+    EXPECT_FALSE(worker_exit_clean(WorkerExit::Unreachable));
+    EXPECT_EQ(calls, 4u);  // initial try + max_attempts retries
+}
+
+TEST(Worker, LostAfterContactExitsCleanly) {
+    const ScratchDir scratch("shutdown");
+    CampaignCoordinator coordinator(probe_manifest(), kManifestText,
+                                    coordinator_options(scratch));
+    std::uint64_t now = 0;
+    const WorkerLoop::Transport real = coordinator_transport(coordinator, &now);
+
+    // The manifest fetch succeeds; every later call fails — the shape of
+    // a coordinator that finished and stopped serving.
+    bool first = true;
+    WorkerLoop worker(
+        [&](const std::string& method, const std::string& target, const std::string& body)
+            -> std::optional<HttpClientResponse> {
+            if (!first) return std::nullopt;
+            first = false;
+            return real(method, target, body);
+        },
+        worker_options("w1"), [](std::uint64_t) {});
+    EXPECT_EQ(worker.run(), WorkerExit::CoordinatorShutdown);
+    EXPECT_TRUE(worker_exit_clean(WorkerExit::CoordinatorShutdown));
+}
+
+TEST(Worker, FingerprintMismatchIsFatal) {
+    const ScratchDir scratch("mismatch");
+    CampaignCoordinator coordinator(probe_manifest(), kManifestText,
+                                    coordinator_options(scratch));
+    std::uint64_t now = 0;
+    const WorkerLoop::Transport real = coordinator_transport(coordinator, &now);
+
+    // A coordinator restarted with a DIFFERENT campaign answers every
+    // completion 409 — simulated by intercepting /complete.
+    WorkerLoop worker(
+        [&](const std::string& method, const std::string& target, const std::string& body)
+            -> std::optional<HttpClientResponse> {
+            if (target == "/complete")
+                return HttpClientResponse{409, R"({"error": "fingerprint mismatch"})"};
+            return real(method, target, body);
+        },
+        worker_options("w1"), [](std::uint64_t) {});
+    EXPECT_EQ(worker.run(), WorkerExit::CampaignMismatch);
+    EXPECT_FALSE(worker_exit_clean(WorkerExit::CampaignMismatch));
+}
+
+TEST(Worker, UnparseableRepliesAreProtocolErrors) {
+    WorkerLoop worker(
+        [](const std::string&, const std::string&, const std::string&)
+            -> std::optional<HttpClientResponse> {
+            return HttpClientResponse{200, "this is not json"};
+        },
+        worker_options("w1"), [](std::uint64_t) {});
+    EXPECT_EQ(worker.run(), WorkerExit::ProtocolError);
+}
+
+TEST(Worker, AlreadyCompleteCampaignMeansImmediateDone) {
+    const ScratchDir scratch("done");
+    const Manifest manifest = probe_manifest();
+    // Warm the shared cache with a local run, then coordinate over it:
+    // the coordinator is born complete and workers compute nothing.
+    CampaignOptions local;
+    local.cache_dir = scratch.path() + "/cache";
+    run_campaign(manifest, local);
+
+    CampaignCoordinator coordinator(manifest, kManifestText, coordinator_options(scratch));
+    EXPECT_TRUE(coordinator.complete());
+    std::uint64_t now = 0;
+    WorkerLoop worker(coordinator_transport(coordinator, &now), worker_options("w1"),
+                      [](std::uint64_t) {});
+    EXPECT_EQ(worker.run(), WorkerExit::CampaignComplete);
+    EXPECT_EQ(worker.points_computed(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Port file + loopback end-to-end
+
+TEST(PortFile, AtomicWriteThenReadBack) {
+    const ScratchDir scratch("portfile");
+    const std::string path = scratch.path() + "/port.txt";
+    service::write_port_file(path, 43210);
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "43210");
+    // The staging file never survives the publish.
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+    // An unwritable location fails loudly, not silently.
+    EXPECT_THROW(service::write_port_file(scratch.path() + "/no/such/dir/p.txt", 1),
+                 std::runtime_error);
+}
+
+TEST(LoopbackEndToEnd, TwoRealWorkersMatchTheLocalArtifact) {
+    const ScratchDir scratch("e2e");
+    const Manifest manifest = probe_manifest();
+
+    CampaignOptions local;
+    local.cache_dir = scratch.path() + "/cache-local";
+    const std::string local_json = run_campaign(manifest, local).to_json(manifest);
+
+    CoordinatorOptions options = coordinator_options(scratch);
+    options.batch = 2;
+    CampaignCoordinator coordinator(manifest, kManifestText, options);
+
+    HttpServer server(0);
+    const Endpoint endpoint{"127.0.0.1", server.port()};
+    std::thread serve([&] {
+        server.serve_forever([&](const HttpRequest& request) {
+            const HttpResponse response = coordinator.handle(request, steady_now_ms());
+            // The campaign finishing stops the server AFTER this reply
+            // is written — the completing worker still hears back.
+            if (coordinator.complete()) server.stop();
+            return response;
+        });
+    });
+
+    const auto spawn = [&](const std::string& name) {
+        return std::thread([&, name] {
+            WorkerOptions wopts;
+            wopts.name = name;
+            wopts.capacity = 2;
+            wopts.poll_ms = 5;
+            wopts.backoff.base_ms = 2;
+            wopts.backoff.cap_ms = 20;
+            wopts.backoff.max_attempts = 4;
+            WorkerLoop worker(
+                [endpoint](const std::string& method, const std::string& target,
+                           const std::string& body) {
+                    return http_request(endpoint, method, target, body, 5000);
+                },
+                wopts);
+            // The worker that finishes the campaign sees "done"; the
+            // other may find the server already gone — both are clean.
+            EXPECT_TRUE(worker_exit_clean(worker.run())) << name;
+        });
+    };
+    std::thread w1 = spawn("e2e-w1");
+    std::thread w2 = spawn("e2e-w2");
+    w1.join();
+    w2.join();
+    server.stop();
+    serve.join();
+
+    EXPECT_TRUE(coordinator.complete());
+    EXPECT_EQ(coordinator.conflicts(), 0u);
+    EXPECT_EQ(coordinator.artifact(), local_json);
+}
+
+} // namespace
+} // namespace dynamo

@@ -229,6 +229,83 @@ TEST(Manifest, ExpansionOrderAndSeedInjection) {
     EXPECT_EQ(big.seed, 14023699124914558617ull);
 }
 
+TEST(Manifest, UnionBudgetIsInjectedForAdaptiveCampaigns) {
+    // An adaptive campaign (binds ci_target) without an explicit union
+    // budget gets union = the expansion size: every point is one member
+    // of the simultaneous confidence-sequence family, so the injected
+    // budget makes the whole campaign valid at 1 - delta by the union
+    // bound (docs/statistics.md).
+    const Manifest adaptive = parse_manifest(
+        R"({"name": "adaptive", "scenario": "mc_density_point",
+            "fixed": {"ci_target": 0.05, "m": 6, "n": 6},
+            "grid": {"density": [0.1, 0.2]}, "repetitions": 3, "seed": 5})",
+        "test-manifest");
+    const auto points = expand(adaptive);
+    ASSERT_EQ(points.size(), 6u);
+    for (const auto& point : points) EXPECT_EQ(point.params.at("union"), "6");
+
+    // ci_target on a grid axis also counts as adaptive.
+    const Manifest axis = parse_manifest(
+        R"({"name": "axis", "scenario": "mc_density_point",
+            "grid": {"ci_target": [0.05, 0.02]}, "seed": 5})",
+        "test-manifest");
+    for (const auto& point : expand(axis)) EXPECT_EQ(point.params.at("union"), "2");
+
+    // An explicit union binding always wins (atlas authors may combine
+    // several manifests into one error budget).
+    const Manifest pinned = parse_manifest(
+        R"({"name": "pinned", "scenario": "mc_density_point",
+            "fixed": {"ci_target": 0.05, "union": 40},
+            "grid": {"density": [0.1, 0.2]}, "seed": 5})",
+        "test-manifest");
+    for (const auto& point : expand(pinned)) EXPECT_EQ(point.params.at("union"), "40");
+
+    // Fixed-trial campaigns are untouched — their cache identity must
+    // not move under the injection feature.
+    const Manifest fixed_trials = parse_manifest(
+        R"({"name": "fixed", "scenario": "mc_density_point",
+            "grid": {"density": [0.1, 0.2]}, "seed": 5})",
+        "test-manifest");
+    for (const auto& point : expand(fixed_trials))
+        EXPECT_EQ(point.params.count("union"), 0u);
+}
+
+TEST(Registry, WarmStartedBracketsAreDeterministicAndDistinctFromCold) {
+    // The warm-start (scenarios/adaptive.cpp) reuses a neighboring
+    // probe's decision time to skip provably uninformative checkpoints.
+    // Its contract: the bracket stays a PURE function of (params, seed)
+    // — warm scheduling depends only on earlier probes in the fixed
+    // issue order, never on wall-clock or the probe's own stream. NOTE:
+    // warm is not pinned as "fewer trials" — skipping checkpoints can
+    // also convert an undecided probe into a decision, which buys a
+    // tighter bracket for MORE trials; determinism is the invariant.
+    const Scenario* s = find("mc_critical_density");
+    ASSERT_NE(s, nullptr);
+    const std::map<std::string, std::string> base{
+        {"m", "8"}, {"n", "8"}, {"max_trials", "1500"}, {"seed", "20110516"}};
+
+    const auto run_once = [&](std::map<std::string, std::string> params) {
+        const CliArgs args(params);
+        std::ostringstream out;
+        Context ctx{args, out, {}};
+        EXPECT_EQ(run(*s, ctx), 0);
+        return ctx.metrics;
+    };
+
+    const auto warm_a = run_once(base);
+    const auto warm_b = run_once(base);
+    EXPECT_EQ(warm_a, warm_b) << "warm-started bracket is not reproducible";
+
+    // The schedule actually engaged, and it changed the trial ledger
+    // relative to the cold schedule (same seed, same probes issued).
+    EXPECT_GT(std::stoull(warm_a.at("warm_probes")), 0u);
+    auto cold_params = base;
+    cold_params["warm"] = "0";
+    const auto cold = run_once(cold_params);
+    EXPECT_EQ(std::stoull(cold.at("warm_probes")), 0u);
+    EXPECT_NE(warm_a.at("trials_total"), cold.at("trials_total"));
+}
+
 TEST(Cache, HitMissAndEpochInvalidation) {
     const ScratchDir dir("cache");
     const ResultCache cache(dir.path(), /*code_epoch=*/1);
